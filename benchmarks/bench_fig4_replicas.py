@@ -1,0 +1,53 @@
+"""Figure 4: commits and latency vs. number of replicas (2–5).
+
+Paper: "For the basic Paxos protocol, the mean number of successful
+transaction commits ranges from 284 out of 500 for the system with two
+replicas to 292 out of 500 for the system with five replicas.  In Paxos-CP,
+we also see a consistent number of mean total commits (between 434 and 445
+out of 500 transactions) regardless of the number of replicas ...  the
+number of transactions committed in the first round is less than the total
+number of commits for the basic protocol ...  Both basic Paxos and Paxos-CP
+exhibit an increase in average transaction latency as the number of
+replicas increases."
+"""
+
+from benchmarks.conftest import by_protocol, publish, run_grid
+from repro.harness.figures import figure4
+
+
+def test_figure4_replica_sweep(benchmark):
+    grid = figure4()
+    results = benchmark.pedantic(lambda: run_grid(grid), rounds=1, iterations=1)
+    publish(grid, results, "figure4")
+    table = by_protocol(results)
+
+    basic = table["paxos"]
+    cp = table["paxos-cp"]
+    for name in basic:
+        basic_metrics = basic[name].metrics
+        cp_metrics = cp[name].metrics
+        # Paxos-CP commits strictly more than basic Paxos in every cluster.
+        assert cp_metrics.commits > basic_metrics.commits, name
+        # CP's round-0 commits sit at or below basic's total (promoted
+        # transactions win positions first-round transactions would have).
+        assert cp_metrics.commits_by_round.get(0, 0) <= basic_metrics.commits * 1.1
+        # Basic Paxos never promotes.
+        assert basic_metrics.max_promotions == 0
+
+    # Commit counts are roughly flat in replica count for both protocols
+    # (within a generous band — the paper's own spread is ~3%).
+    for protocol_table in (basic, cp):
+        counts = [r.metrics.commits for r in protocol_table.values()]
+        assert max(counts) - min(counts) <= 0.3 * max(counts)
+
+    # Latency grows (weakly) with replica count: the 5-replica cluster
+    # (quorum crosses the country) is slower than the 2-replica one.
+    def latency(protocol_table, name):
+        return protocol_table[name].metrics.mean_commit_latency_ms
+
+    assert latency(basic, "5 replicas (VVVOC)") > latency(basic, "2 replicas (VV)")
+    # Promotion rounds add latency: round 1 commits are slower than round 0.
+    for result in cp.values():
+        rounds = result.metrics.latency_by_round
+        if 0 in rounds and 1 in rounds:
+            assert rounds[1] > rounds[0]

@@ -1,0 +1,41 @@
+"""Figure 5: commits and latency per datacenter combination.
+
+Paper: "In transactions that involved only Virginia datacenters (VV or VVV)
+latency is significantly lower, while the improvement on the number of
+commits for Paxos-CP remains relatively constant despite an inherent
+increased latency due to location (VV vs. OV) and the lack of a quorum
+within the same region (VVV vs. COV)."
+"""
+
+from benchmarks.conftest import by_protocol, publish, run_grid
+from repro.harness.figures import figure5
+
+
+def test_figure5_cluster_combinations(benchmark):
+    grid = figure5()
+    results = benchmark.pedantic(lambda: run_grid(grid), rounds=1, iterations=1)
+    publish(grid, results, "figure5")
+    table = by_protocol(results)
+    basic, cp = table["paxos"], table["paxos-cp"]
+
+    # Virginia-only clusters are much faster than mixed ones.
+    for protocol_table in (basic, cp):
+        vvv = protocol_table["VVV"].metrics.mean_commit_latency_ms
+        ov = protocol_table["OV"].metrics.mean_commit_latency_ms
+        cov = protocol_table["COV"].metrics.mean_commit_latency_ms
+        assert ov > 1.2 * vvv
+        assert cov > 1.2 * vvv
+
+    # Paxos-CP's commit improvement holds across every combination.
+    improvements = {}
+    for name in basic:
+        improvements[name] = (
+            cp[name].metrics.commits / max(1, basic[name].metrics.commits)
+        )
+        assert improvements[name] > 1.0, name
+    # "Relatively constant": no combination's improvement is wildly off the
+    # median improvement.
+    ordered = sorted(improvements.values())
+    median = ordered[len(ordered) // 2]
+    for name, improvement in improvements.items():
+        assert 0.55 * median <= improvement <= 1.9 * median, (name, improvements)

@@ -1,0 +1,43 @@
+"""Figure 7: commits vs. offered throughput, VVV, 100 attributes.
+
+Paper: "Paxos-CP consistently outperforms basic Paxos in terms of total
+commits, though both protocols experience a decrease in commits as
+throughput increases.  As throughput increases, promotions play a larger
+role in Paxos-CP; the increased competition for each log position means
+that more transactions will be promoted to try for subsequent log
+positions."
+"""
+
+from benchmarks.conftest import by_protocol, publish, run_grid
+from repro.harness.figures import figure7
+
+
+def test_figure7_throughput_sweep(benchmark):
+    grid = figure7()
+    results = benchmark.pedantic(lambda: run_grid(grid), rounds=1, iterations=1)
+    publish(grid, results, "figure7")
+    table = by_protocol(results)
+    basic, cp = table["paxos"], table["paxos-cp"]
+    # Cells are named "<offered> txn/s"; order them numerically.
+    names = sorted(basic, key=lambda name: float(name.split()[0]))
+
+    # Both protocols commit less at the highest load than at the lowest.
+    for protocol_table in (basic, cp):
+        first = protocol_table[names[0]].metrics.commits
+        last = protocol_table[names[-1]].metrics.commits
+        assert last < first
+
+    # CP stays above basic at every load level.
+    for name in names:
+        assert cp[name].metrics.commits > basic[name].metrics.commits, name
+
+    # Promotions do more of the work as load grows: the committed-via-
+    # promotion share rises from the lowest to the highest load.
+    def promoted_share(result):
+        metrics = result.metrics
+        promoted = sum(
+            count for round_, count in metrics.commits_by_round.items() if round_ > 0
+        )
+        return promoted / max(1, metrics.commits)
+
+    assert promoted_share(cp[names[-1]]) > promoted_share(cp[names[0]])

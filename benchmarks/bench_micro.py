@@ -1,0 +1,142 @@
+"""Micro-benchmarks of the hot paths under the experiments.
+
+These use pytest-benchmark's statistical looping (unlike the figure
+benches, which run one deterministic simulation per invocation) and exist
+to catch pathological slowdowns in the substrate — a 10× regression in
+``check_and_write`` or MVSG construction quietly multiplies every figure's
+wall-clock time.
+"""
+
+import random
+
+from repro.core.combine import best_combination, greedy_combination
+from repro.kvstore.store import MultiVersionStore
+from repro.serializability.checker import is_one_copy_serializable
+from repro.serializability.history import HistoryTxn, MVHistory
+from repro.sim.env import Environment
+from tests.helpers import txn
+
+
+class TestStoreOps:
+    def test_write_throughput(self, benchmark):
+        store = MultiVersionStore("bench")
+        counter = iter(range(10_000_000))
+
+        def op():
+            store.write(f"k{next(counter) % 64}", {"a": 1})
+
+        benchmark(op)
+
+    def test_read_at_timestamp(self, benchmark):
+        store = MultiVersionStore("bench")
+        for ts in range(1, 501):
+            store.write("k", {"a": ts}, timestamp=ts)
+        benchmark(lambda: store.read("k", timestamp=250))
+
+    def test_check_and_write(self, benchmark):
+        store = MultiVersionStore("bench")
+        store.write("k", {"flag": 0})
+        state = {"value": 0}
+
+        def op():
+            ok = store.check_and_write("k", "flag", state["value"],
+                                       {"flag": state["value"] + 1})
+            assert ok
+            state["value"] += 1
+
+        benchmark(op)
+
+
+class TestSimKernel:
+    def test_event_scheduling_throughput(self, benchmark):
+        def run_1000_timeouts():
+            env = Environment(seed=0)
+            for index in range(1000):
+                env.timeout(float(index % 17))
+            env.run()
+
+        benchmark(run_1000_timeouts)
+
+    def test_process_switching(self, benchmark):
+        def run_ping_pong():
+            env = Environment(seed=0)
+
+            def worker():
+                for _ in range(100):
+                    yield env.timeout(1.0)
+
+            for _ in range(10):
+                env.process(worker())
+            env.run()
+
+        benchmark(run_ping_pong)
+
+
+class TestCombination:
+    def setup_method(self):
+        rng = random.Random(1)
+        self.own = txn("me", reads={"a": 0}, writes={"b": 1})
+        self.candidates = [
+            txn(
+                f"o{i}",
+                reads={rng.choice("abcdef"): 0},
+                writes={rng.choice("abcdef"): 1},
+            )
+            for i in range(4)
+        ]
+
+    def test_exhaustive_search(self, benchmark):
+        benchmark(lambda: best_combination(self.own, self.candidates))
+
+    def test_greedy_search(self, benchmark):
+        many = self.candidates * 5
+        benchmark(lambda: greedy_combination(self.own, many))
+
+
+class TestSerializabilityOracle:
+    def setup_method(self):
+        items = [("row0", a) for a in "abcdefgh"]
+        rng = random.Random(2)
+        self.history = MVHistory()
+        last = {item: None for item in items}
+        for index in range(60):
+            tid = f"t{index}"
+            reads = tuple(
+                (item, last[item]) for item in rng.sample(items, 2)
+            )
+            writes = frozenset(rng.sample(items, 2))
+            self.history.add(HistoryTxn(tid, reads=reads, writes=writes))
+            for item in writes:
+                self.history.version_order.setdefault(item, []).append(tid)
+                last[item] = tid
+
+    def test_mvsg_check_60_txns(self, benchmark):
+        ok, _ = benchmark(lambda: is_one_copy_serializable(self.history))
+        assert ok
+
+
+class TestFullCommit:
+    def test_single_commit_round_trip(self, benchmark):
+        """One complete uncontended Paxos-CP commit, end to end."""
+
+        def run_commit():
+            from repro.cluster import Cluster
+            from repro.config import ClusterConfig, StoreConfig
+
+            cluster = Cluster(ClusterConfig(
+                cluster_code="VVV", store=StoreConfig.instant(), jitter=0.0,
+            ))
+            cluster.preload("g", {"row0": {"a": 0}})
+            client = cluster.add_client("V1", protocol="paxos-cp")
+
+            def app():
+                handle = yield from client.begin("g")
+                value = yield from client.read(handle, "row0", "a")
+                client.write(handle, "row0", "a", value + 1)
+                return (yield from client.commit(handle))
+
+            process = cluster.env.process(app())
+            cluster.run()
+            assert process.value.committed
+
+        benchmark(run_commit)

@@ -1,0 +1,61 @@
+"""Benchmark configuration and helpers.
+
+Figure benchmarks run the paper's experiment grids.  By default they are
+scaled down (120 transactions per cell, one trial) so the whole suite
+finishes in about two minutes; set ``REPRO_FULL=1`` for the paper's full
+scale (500 transactions, three trials — the configuration EXPERIMENTS.md
+was produced with).
+
+Every figure benchmark:
+
+* regenerates the figure's data series and writes the table to
+  ``benchmarks/results/<name>.txt`` (also echoed to stdout);
+* asserts the *shape* the paper reports (who wins, roughly by how much),
+  so a regression that flips a conclusion fails the benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult, run_cell
+from repro.harness.figures import FigureGrid
+from repro.harness.report import format_comparison
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
+N_TRANSACTIONS = 500 if FULL_SCALE else 120
+TRIALS = 3 if FULL_SCALE else 1
+
+
+def run_grid(grid: FigureGrid) -> list[ExperimentResult]:
+    """Run every cell of a figure grid at the configured scale."""
+    scaled = grid.scaled(N_TRANSACTIONS)
+    return [run_cell(cell, trials=TRIALS) for cell in scaled.cells]
+
+
+def publish(grid: FigureGrid, results: list[ExperimentResult], name: str) -> str:
+    """Render, save, and print the paper-vs-measured table."""
+    text = format_comparison(grid.paper_shape, results, grid.figure)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def by_protocol(results: list[ExperimentResult]):
+    """Split results into {protocol: {cell name: result}}."""
+    table: dict[str, dict[str, ExperimentResult]] = {}
+    for result in results:
+        table.setdefault(result.spec.protocol, {})[result.spec.name] = result
+    return table
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    return {"n_transactions": N_TRANSACTIONS, "trials": TRIALS, "full": FULL_SCALE}

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+``figure``
+    Regenerate one of the paper's figures (or ``all``) and print the
+    paper-vs-measured table.
+
+``run``
+    Run a single experiment cell — cluster code, protocol, and workload
+    knobs — and print its metrics.  Handy for exploring parameters the
+    paper did not sweep.
+
+``check``
+    Run a workload under the given conditions and report whether the §3
+    invariants and the MVSG serializability oracle hold (exit status 1 if
+    not) — a self-contained correctness torture, useful under fault
+    injection flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ClusterConfig, ProtocolConfig, StoreConfig, WorkloadConfig
+from repro.harness.experiment import ExperimentSpec, run_cell
+from repro.harness.figures import ALL_FIGURES
+from repro.harness.report import format_cells, format_comparison, format_per_instance
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cluster", default="VVV",
+                        help="datacenter letters, e.g. VVV, COV, VVVOC (default VVV)")
+    parser.add_argument("--protocol", default="paxos-cp",
+                        choices=["paxos", "paxos-cp", "leased-leader"])
+    parser.add_argument("--transactions", type=int, default=500)
+    parser.add_argument("--attributes", type=int, default=100)
+    parser.add_argument("--ops", type=int, default=10)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="target transactions/second per thread")
+    parser.add_argument("--read-fraction", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="message loss probability")
+    parser.add_argument("--duplicate", type=float, default=0.0,
+                        help="message duplication probability")
+    parser.add_argument("--per-dc", action="store_true",
+                        help="one workload instance per datacenter (Figure 8 style)")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the per-position leader optimization")
+    parser.add_argument("--max-promotions", type=int, default=None,
+                        help="cap Paxos-CP promotions (default: unlimited)")
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    protocol_config = ProtocolConfig(
+        leader_fastpath=not args.no_fastpath,
+        max_promotions=args.max_promotions,
+    )
+    return ExperimentSpec(
+        name=f"{args.cluster}/{args.protocol}",
+        cluster=ClusterConfig(
+            cluster_code=args.cluster,
+            loss_probability=args.loss,
+            duplicate_probability=args.duplicate,
+            store=StoreConfig(),
+            protocol=protocol_config,
+        ),
+        workload=WorkloadConfig(
+            n_transactions=args.transactions,
+            ops_per_transaction=args.ops,
+            n_attributes=args.attributes,
+            n_threads=args.threads,
+            target_rate_per_thread=args.rate,
+            read_fraction=args.read_fraction,
+        ),
+        protocol=args.protocol,
+        per_datacenter_instances=args.per_dc,
+    )
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    names = list(ALL_FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        grid = ALL_FIGURES[name]().scaled(args.transactions)
+        results = [run_cell(cell, trials=args.trials, base_seed=args.seed)
+                   for cell in grid.cells]
+        print(format_comparison(grid.paper_shape, results, grid.figure))
+        print()
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    result = run_cell(spec, trials=args.trials, base_seed=args.seed)
+    print(format_cells([result]))
+    if len(result.per_instance) > 1:
+        print()
+        print(format_per_instance(result, title="per datacenter"))
+    reasons = result.metrics.aborts_by_reason
+    if reasons:
+        print("\nabort reasons:", ", ".join(
+            f"{reason}={count}" for reason, count in sorted(reasons.items())
+        ))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.wal.invariants import InvariantViolation
+
+    spec = _spec_from_args(args)
+    try:
+        result = run_cell(spec, trials=args.trials, base_seed=args.seed)
+    except InvariantViolation as violation:
+        print("INVARIANT VIOLATION:")
+        print(violation)
+        return 1
+    print(format_cells([result]))
+    print("\ninvariants (R1), (L1)-(L3), read-only consistency, MVSG 1SR: OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Serializability, not Serial' (VLDB 2012)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a paper figure (paper-vs-measured table)"
+    )
+    figure.add_argument("name", choices=list(ALL_FIGURES) + ["all"])
+    figure.add_argument("--transactions", type=int, default=120,
+                        help="transactions per cell (paper scale: 500)")
+    figure.add_argument("--trials", type=int, default=1)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.set_defaults(func=cmd_figure)
+
+    run = subparsers.add_parser("run", help="run one experiment cell")
+    _add_workload_arguments(run)
+    run.set_defaults(func=cmd_run)
+
+    check = subparsers.add_parser(
+        "check", help="run a workload and verify serializability invariants"
+    )
+    _add_workload_arguments(check)
+    check.set_defaults(func=cmd_check)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Deployment builder: one call assembles a whole multi-datacenter system.
+
+:class:`Cluster` wires together the simulation environment, the network with
+the paper's RTT matrix, one multi-version key-value store and one
+Transaction Service per datacenter, and hands out Transaction Clients.  It
+is the entry point examples, tests, and the benchmark harness all use::
+
+    cluster = Cluster(ClusterConfig(cluster_code="VVV", seed=7))
+    cluster.preload("group-0", {"row0": {"a0": "init"}})
+    client = cluster.add_client("V1", protocol="paxos-cp")
+
+It also hosts the *offline verification* helpers: after a run,
+:meth:`finalize` completes the replicas' knowledge of every decided position
+by direct store inspection (the runtime equivalent is the protocol-level
+catch-up in :class:`repro.paxos.learner.Learner`; the offline form exists so
+invariant checks never block on simulated messaging), and
+:meth:`check_invariants` runs the (L1)–(L3)/(R1) checkers plus the MVSG
+serializability test.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+from repro.config import ClusterConfig, ProtocolName
+from repro.core.client import TransactionClient
+from repro.core.leased_leader import install_leased_leader
+from repro.core.service import TransactionService
+from repro.kvstore.service import StoreAccessor, StoreLatencyModel
+from repro.kvstore.store import MultiVersionStore
+from repro.model import Item, TransactionOutcome
+from repro.net.latency import RttMatrixLatency
+from repro.net.network import Network
+from repro.net.topology import Topology, cluster_preset
+from repro.serializability.checker import is_one_copy_serializable
+from repro.serializability.history import MVHistory
+from repro.sim.env import Environment
+from repro.wal.entry import LogEntry
+from repro.wal.invariants import InvariantViolation, global_log, run_all_checks
+from repro.wal.log import (
+    ATTR_BALLOT,
+    ATTR_CHOSEN,
+    ATTR_VALUE,
+    LogReplica,
+    data_row_key,
+    paxos_row_key,
+)
+
+
+class Cluster:
+    """A fully wired multi-datacenter deployment."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.env = Environment(seed=self.config.seed)
+        self.topology: Topology = cluster_preset(self.config.cluster_code)
+        self.network = Network(
+            self.env,
+            self.topology,
+            RttMatrixLatency(self.topology, jitter=self.config.jitter),
+            loss_probability=self.config.loss_probability,
+            duplicate_probability=self.config.duplicate_probability,
+        )
+        self.home_dc = self.topology.names[0]
+        self.stores: dict[str, MultiVersionStore] = {}
+        self.services: dict[str, TransactionService] = {}
+        self._client_counters: dict[str, int] = {}
+        self._initial_image: dict[Item, Any] = {}
+        self._groups: set[str] = set()
+
+        store_latency = StoreLatencyModel(
+            self.config.store.op_low_ms, self.config.store.op_high_ms
+        )
+        for dc in self.topology.names:
+            store = MultiVersionStore(name=f"store:{dc}")
+            accessor = StoreAccessor(self.env, store, latency=store_latency)
+            service = TransactionService(
+                self.env, self.network, dc, store,
+                self.config.protocol, home_dc=self.home_dc,
+                store_accessor=accessor,
+            )
+            install_leased_leader(service)
+            self.stores[dc] = store
+            self.services[dc] = service
+        names = [self.services[dc].node.name for dc in self.topology.names]
+        for service in self.services.values():
+            service.set_peers(names)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def preload(self, group: str, rows: Mapping[str, Mapping[str, Any]]) -> None:
+        """Install initial data in every datacenter at timestamp 0.
+
+        Also remembered as the initial image the serializability checkers
+        replay from.
+        """
+        self._groups.add(group)
+        for dc, store in self.stores.items():
+            for row, attributes in rows.items():
+                store.write(data_row_key(group, row), dict(attributes), timestamp=0)
+        for row, attributes in rows.items():
+            for attribute, value in attributes.items():
+                self._initial_image[(row, attribute)] = value
+
+    def add_client(
+        self,
+        datacenter: str,
+        protocol: ProtocolName = "paxos",
+        name: str | None = None,
+    ) -> TransactionClient:
+        """Create a Transaction Client (an application instance) in *datacenter*."""
+        self.topology.get(datacenter)
+        if name is None:
+            count = self._client_counters.get(datacenter, 0) + 1
+            self._client_counters[datacenter] = count
+            name = f"cli:{datacenter}:{count}"
+        return TransactionClient(
+            self.env, self.network, datacenter, name,
+            datacenters=self.topology.names,
+            config=self.config.protocol,
+            protocol=protocol,
+            home_dc=self.home_dc,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation (drains the queue when *until* is None)."""
+        self.env.run(until)
+
+    @property
+    def initial_image(self) -> dict[Item, Any]:
+        return dict(self._initial_image)
+
+    def replicas(self, group: str) -> list[LogReplica]:
+        """Every datacenter's log replica for *group*."""
+        return [self.services[dc].replica(group) for dc in self.topology.names]
+
+    # ------------------------------------------------------------------
+    # Offline verification
+    # ------------------------------------------------------------------
+
+    def finalize(self, group: str) -> dict[int, LogEntry]:
+        """Complete every replica's log knowledge by direct inspection.
+
+        A value is decided iff some replica recorded it as chosen or a
+        majority of replicas accepted it at one ballot.  Decided values are
+        recorded at every replica (what APPLY / catch-up would eventually
+        do), so the invariant checkers see the full picture.  Returns the
+        global log.
+        """
+        replicas = self.replicas(group)
+        majority = self.topology.majority
+        decided: dict[int, LogEntry] = {}
+        positions: set[int] = set()
+        for replica in replicas:
+            prefix = f"_paxos/{group}/"
+            for key in replica.store.keys():
+                if key.startswith(prefix):
+                    positions.add(int(key[len(prefix):]))
+        for position in sorted(positions):
+            votes: Counter = Counter()
+            candidates: dict[tuple, LogEntry] = {}
+            for replica in replicas:
+                version = replica.store.read(paxos_row_key(group, position))
+                if version is None:
+                    continue
+                if version.get(ATTR_CHOSEN):
+                    decided[position] = version.get(ATTR_VALUE)
+                    break
+                value = version.get(ATTR_VALUE)
+                ballot = version.get(ATTR_BALLOT)
+                if value is not None and ballot is not None:
+                    key = (ballot, value.tids)
+                    votes[key] += 1
+                    candidates[key] = value
+            else:
+                for key, count in votes.items():
+                    if count >= majority:
+                        decided[position] = candidates[key]
+                        break
+        for position, entry in decided.items():
+            for replica in replicas:
+                replica.record_chosen(position, entry)
+        return {pos: entry for pos, entry in sorted(decided.items())}
+
+    def check_invariants(
+        self,
+        group: str,
+        outcomes: list[TransactionOutcome],
+        strict_timeouts: bool = False,
+    ) -> None:
+        """Run every §3 correctness check; raise on any violation.
+
+        ``strict_timeouts=False`` (default) excludes transactions aborted
+        with TIMEOUT / CLIENT_CRASH / SERVICE_UNAVAILABLE from the L1 "not
+        in the log" side: the paper explicitly allows a transaction whose
+        client failed mid-protocol to be committed or aborted (§4.1), and a
+        timed-out client is indistinguishable from a failed one.
+        """
+        from repro.model import AbortReason, TransactionStatus
+
+        self.finalize(group)
+        replicas = self.replicas(group)
+        considered = outcomes
+        if not strict_timeouts:
+            lenient = {
+                AbortReason.TIMEOUT,
+                AbortReason.CLIENT_CRASH,
+                AbortReason.SERVICE_UNAVAILABLE,
+            }
+            considered = [
+                outcome for outcome in outcomes
+                if not (
+                    outcome.status is TransactionStatus.ABORTED
+                    and outcome.abort_reason in lenient
+                )
+            ]
+        run_all_checks(replicas, considered, self._initial_image)
+        # Independent oracle: the MVSG test over the observed history.
+        history = MVHistory.from_log(global_log(replicas), self._initial_image)
+        ok, cycle = is_one_copy_serializable(history)
+        if not ok:
+            raise InvariantViolation(
+                [f"MVSG test failed: cycle {cycle} in the observed history"]
+            )

@@ -1,0 +1,149 @@
+"""Configuration dataclasses for deployments, protocols, and workloads.
+
+Defaults follow the paper's evaluation (§6): a two-second message timeout,
+unlimited promotions, the per-log-position leader optimization enabled, and
+a key-value store latency calibrated to HBase-on-EBS (see
+:class:`repro.kvstore.service.StoreLatencyModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+#: Which commit protocol a client runs.
+ProtocolName = Literal["paxos", "paxos-cp", "leased-leader"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the commit protocols (§4.1, §5).
+
+    Attributes
+    ----------
+    timeout_ms:
+        Message-loss detection timeout; "We utilize a two second timeout"
+        (§6).
+    quorum_grace_ms:
+        Extra time a client waits for straggler votes after a majority is
+        already in hand, so that ``enhancedFindWinningVal`` sees more than a
+        bare majority when the stragglers are close (see
+        :class:`repro.net.node.Gather`).
+    retry_backoff_ms:
+        Upper bound of the uniform random sleep before re-running a failed
+        prepare/accept phase ("sleep for random time period", Algorithm 2).
+    max_promotions:
+        Promotion cap for Paxos-CP; ``None`` reproduces the paper
+        ("transactions were allowed to try for promotion an unlimited number
+        of times").  0 disables promotion.
+    enable_combination / enable_promotion:
+        Feature switches for the two CP enhancements (used by the ablation
+        benchmarks; both on reproduces the paper's Paxos-CP).
+    combine_exhaustive_limit:
+        Up to this many candidate transactions the combination search is
+        exhaustive over subsets and orders; beyond it the greedy single pass
+        of §5 is used.
+    leader_fastpath:
+        The per-log-position leader optimization of §4.1 ("Megastore does
+        not use a master replica, but instead designates one leader per log
+        position ... we include the optimization in the prototype used in
+        our evaluations").
+    max_commit_attempts:
+        Safety valve for prepare/accept retry loops so that a pathological
+        schedule cannot loop forever; generous enough never to bind in the
+        paper's workloads.
+    """
+
+    timeout_ms: float = 2000.0
+    quorum_grace_ms: float = 2.0
+    retry_backoff_ms: float = 40.0
+    max_promotions: int | None = None
+    enable_combination: bool = True
+    enable_promotion: bool = True
+    combine_exhaustive_limit: int = 4
+    leader_fastpath: bool = True
+    max_commit_attempts: int = 50
+
+    def without_cp(self) -> "ProtocolConfig":
+        """This config with both CP enhancements off (plain Paxos behaviour)."""
+        return replace(self, enable_combination=False, enable_promotion=False)
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Key-value store latency (stand-in for HBase-on-EBS operation cost).
+
+    The defaults are calibrated so that the paper's workload reproduces its
+    §6 commit rates: with 10–24 ms per store operation a 10-operation
+    transaction occupies a contention window that yields ~58% basic-Paxos
+    commits at 100 attributes (paper: 284–292/500) — see EXPERIMENTS.md.
+    """
+
+    op_low_ms: float = 10.0
+    op_high_ms: float = 24.0
+
+    @classmethod
+    def instant(cls) -> "StoreConfig":
+        """Zero-latency store for unit tests."""
+        return cls(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A full deployment: datacenters, network behaviour, store behaviour.
+
+    ``cluster_code`` uses the paper's letter codes (``"VVV"``, ``"COV"``,
+    ...); see :func:`repro.net.topology.cluster_preset`.
+    """
+
+    cluster_code: str = "VVV"
+    seed: int = 0
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter: float = 0.08
+    store: StoreConfig = field(default_factory=StoreConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+
+    @property
+    def n_datacenters(self) -> int:
+        return len(self.cluster_code)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The YCSB-style transactional workload of §6.
+
+    Defaults are the paper's: 500 transactions of 10 operations each, 50%
+    reads / 50% writes, attributes chosen uniformly at random from one
+    100-attribute row (one entity group), four concurrent client threads
+    with staggered starts targeting one transaction per second per thread.
+    """
+
+    n_transactions: int = 500
+    ops_per_transaction: int = 10
+    read_fraction: float = 0.5
+    n_attributes: int = 100
+    n_rows: int = 1
+    n_threads: int = 4
+    target_rate_per_thread: float = 1.0  # transactions per second
+    stagger_ms: float = 250.0            # delay between successive thread starts
+    distribution: Literal["uniform", "zipfian"] = "uniform"
+    zipfian_theta: float = 0.99
+    group: str = "group-0"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0,1], got {self.read_fraction}")
+        if self.n_transactions < 0 or self.ops_per_transaction <= 0:
+            raise ValueError("workload sizes must be positive")
+        if self.n_attributes <= 0 or self.n_rows <= 0:
+            raise ValueError("data dimensions must be positive")
+        if self.n_threads <= 0:
+            raise ValueError("need at least one client thread")
+        if self.target_rate_per_thread <= 0:
+            raise ValueError("target rate must be positive")
+
+    @property
+    def mean_interarrival_ms(self) -> float:
+        """Mean time between transactions on one thread, in ms."""
+        return 1000.0 / self.target_rate_per_thread

@@ -1,0 +1,273 @@
+"""The Transaction Client (§2.2, §4): the library applications link against.
+
+API (the paper's, §2.2): ``begin(groupKey)``, ``read(groupKey, key)``,
+``write(groupKey, key, value)``, ``commit(groupKey)``.  Here a
+:class:`TransactionHandle` stands for the active transaction on a group, and
+the methods are simulation generators (they exchange messages and take
+simulated time).
+
+Behaviour lifted from the transaction protocol of §4:
+
+1. ``begin`` pins the *read position* — the last written log entry known to
+   the local Transaction Service — falling over to remote services when the
+   local one does not answer.
+2. ``read`` returns buffered writes first (property A1), then asks a service
+   for the value at the pinned position (property A2), again with failover.
+3. ``write`` is buffered locally; nothing is sent before commit.
+4. ``commit`` returns immediately for read-only transactions; otherwise it
+   drives the configured commit protocol and reports commit/abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.config import ProtocolConfig, ProtocolName
+from repro.errors import ServiceUnavailable, TransactionStateError
+from repro.model import (
+    AbortReason,
+    Item,
+    Transaction,
+    TransactionOutcome,
+    TransactionStatus,
+)
+from repro.core.service import (
+    BEGIN,
+    READ,
+    BeginReply,
+    BeginRequest,
+    ReadReply,
+    ReadRequest,
+    service_name,
+)
+from repro.net.node import Node
+from repro.wal.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.sim.env import Environment
+
+
+@dataclass
+class TransactionHandle:
+    """Client-side state of one active transaction (readSet/writeSet)."""
+
+    group: str
+    read_position: int
+    leader_dc: str
+    begin_time: float
+    read_cache: dict[Item, Any] = field(default_factory=dict)
+    read_set: set[Item] = field(default_factory=set)
+    read_snapshot: list[tuple[Item, Any]] = field(default_factory=list)
+    write_buffer: dict[Item, Any] = field(default_factory=dict)
+    write_order: list[tuple[Item, Any]] = field(default_factory=list)
+    active: bool = True
+
+    def buffered(self, item: Item) -> bool:
+        return item in self.write_buffer
+
+
+@dataclass
+class CommitContext:
+    """Mutable record the commit protocols fill in as they run."""
+
+    transaction: Transaction
+    leader_dc: str | None
+    home_dc: str
+    commit_position: int | None = None
+    entry: LogEntry | None = None
+    fast_path: bool = False
+    promotions: int = 0
+    combined: bool = False
+    abort_reason: AbortReason | None = None
+
+    def record_commit(
+        self,
+        position: int,
+        entry: LogEntry | None,
+        fast_path: bool = False,
+        promotions: int = 0,
+        combined: bool = False,
+    ) -> None:
+        self.commit_position = position
+        self.entry = entry
+        self.fast_path = fast_path
+        self.promotions = promotions
+        self.combined = combined
+
+    def record_abort(self, reason: AbortReason, promotions: int = 0) -> None:
+        self.abort_reason = reason
+        self.promotions = promotions
+
+
+class TransactionClient:
+    """One application instance's window into the transaction tier."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: "Network",
+        datacenter: str,
+        name: str,
+        datacenters: list[str],
+        config: ProtocolConfig,
+        protocol: ProtocolName = "paxos",
+        home_dc: str | None = None,
+    ) -> None:
+        self.env = env
+        self.datacenter = datacenter
+        self.config = config
+        self.node = Node(env, network, name, datacenter)
+        self.datacenters = list(datacenters)
+        self.home_dc = home_dc or self.datacenters[0]
+        self.protocol_name = protocol
+        self.protocol = self._make_protocol(protocol)
+        self._txn_counter = 0
+
+    def _make_protocol(self, protocol: ProtocolName):
+        # Imported here to keep module import order acyclic.
+        from repro.core.commit_basic import BasicPaxosCommit
+        from repro.core.commit_cp import PaxosCPCommit
+        from repro.core.leased_leader import LeasedLeaderCommit
+
+        factories = {
+            "paxos": BasicPaxosCommit,
+            "paxos-cp": PaxosCPCommit,
+            "leased-leader": LeasedLeaderCommit,
+        }
+        try:
+            return factories[protocol](self)
+        except KeyError:
+            raise ValueError(f"unknown commit protocol {protocol!r}") from None
+
+    # ------------------------------------------------------------------
+    # Topology helpers used by the protocols
+    # ------------------------------------------------------------------
+
+    def service_names(self) -> list[str]:
+        """All Transaction Service node names, local datacenter first."""
+        ordered = [self.datacenter] + [dc for dc in self.datacenters if dc != self.datacenter]
+        return [service_name(dc) for dc in ordered]
+
+    def service_in(self, datacenter: str) -> str | None:
+        """Service node name in *datacenter*, if it is part of the deployment."""
+        if datacenter not in self.datacenters:
+            return None
+        return service_name(datacenter)
+
+    # ------------------------------------------------------------------
+    # Transaction API (§2.2)
+    # ------------------------------------------------------------------
+
+    def begin(self, group: str) -> Generator:
+        """Start a transaction; returns a :class:`TransactionHandle`.
+
+        Contacts the local Transaction Service for the read position; if it
+        does not answer, tries the other datacenters in order (§4 step 1).
+        """
+        begin_time = self.env.now
+        request = BeginRequest(group=group)
+        for svc in self.service_names():
+            gather = self.node.request(svc, BEGIN, request, timeout_ms=self.config.timeout_ms)
+            responses = yield gather
+            if responses:
+                reply: BeginReply = responses[0].payload
+                return TransactionHandle(
+                    group=group,
+                    read_position=reply.read_position,
+                    leader_dc=reply.leader_dc,
+                    begin_time=begin_time,
+                )
+        raise ServiceUnavailable("begin: no Transaction Service answered")
+
+    def read(self, handle: TransactionHandle, row: str, attribute: str) -> Generator:
+        """Read one item at the pinned position (§4 step 2).
+
+        Returns the buffered value for items this transaction already wrote
+        (A1); otherwise asks the local service (with failover) for the value
+        at ``handle.read_position`` (A2) and records it in the read set.
+        """
+        self._require_active(handle)
+        item: Item = (row, attribute)
+        if handle.buffered(item):
+            return handle.write_buffer[item]
+        if item in handle.read_cache:
+            return handle.read_cache[item]
+        request = ReadRequest(
+            group=handle.group, row=row, attribute=attribute,
+            position=handle.read_position,
+        )
+        for svc in self.service_names():
+            gather = self.node.request(svc, READ, request, timeout_ms=self.config.timeout_ms)
+            responses = yield gather
+            if responses and responses[0].payload.ok:
+                reply: ReadReply = responses[0].payload
+                handle.read_cache[item] = reply.value
+                handle.read_set.add(item)
+                handle.read_snapshot.append((item, reply.value))
+                return reply.value
+        raise ServiceUnavailable(f"read: no Transaction Service could serve {item}")
+
+    def write(self, handle: TransactionHandle, row: str, attribute: str, value: Any) -> None:
+        """Buffer one write locally (§4 step 3); no messages are sent."""
+        self._require_active(handle)
+        item: Item = (row, attribute)
+        handle.write_buffer[item] = value
+        handle.write_order.append((item, value))
+
+    def commit(self, handle: TransactionHandle) -> Generator:
+        """Try to commit (§4 step 4); returns a :class:`TransactionOutcome`."""
+        self._require_active(handle)
+        handle.active = False
+        txn = self._build_transaction(handle)
+        if txn.is_read_only:
+            # "If the transaction is read-only, commit automatically
+            # succeeds, and no communication with the Transaction Service is
+            # needed." (§2.2)
+            return TransactionOutcome(
+                transaction=txn,
+                status=TransactionStatus.COMMITTED,
+                begin_time=handle.begin_time,
+                end_time=self.env.now,
+            )
+        context = CommitContext(
+            transaction=txn,
+            leader_dc=handle.leader_dc,
+            home_dc=self.home_dc,
+        )
+        status = yield from self.protocol.commit(context)
+        return TransactionOutcome(
+            transaction=txn,
+            status=status,
+            abort_reason=context.abort_reason,
+            begin_time=handle.begin_time,
+            end_time=self.env.now,
+            commit_position=context.commit_position,
+            promotions=context.promotions,
+            combined=context.combined,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _build_transaction(self, handle: TransactionHandle) -> Transaction:
+        self._txn_counter += 1
+        return Transaction(
+            tid=f"{self.node.name}#{self._txn_counter}",
+            group=handle.group,
+            read_set=frozenset(handle.read_set),
+            writes=tuple(handle.write_order),
+            read_position=handle.read_position,
+            origin=self.node.name,
+            origin_dc=self.datacenter,
+            read_snapshot=tuple(handle.read_snapshot),
+        )
+
+    @staticmethod
+    def _require_active(handle: TransactionHandle) -> None:
+        if not handle.active:
+            raise TransactionStateError(
+                "transaction handle is no longer active (already committed or aborted)"
+            )

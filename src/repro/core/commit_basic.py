@@ -1,0 +1,83 @@
+"""The basic Paxos commit protocol (§4.1, Algorithm 2) — Megastore's design.
+
+One transaction per log position; all transactions that read at position
+*k* compete for position *k*+1 and exactly one wins.  The losers abort even
+when their operations do not conflict — the behaviour the paper identifies
+as *concurrency prevention*: "If two transactions try to commit to the same
+log position, one will be aborted, regardless of whether the two
+transactions access the same data items."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.model import (
+    AbortReason,
+    Transaction,
+    TransactionStatus,
+)
+from repro.core.protocol import PaxosCommitBase, ValueDecision
+from repro.paxos.ballot import NULL_BALLOT
+from repro.paxos.proposer import PhaseOutcome
+from repro.wal.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import CommitContext
+
+
+def find_winning_val(prepare: PhaseOutcome, own_entry: LogEntry) -> LogEntry:
+    """Algorithm 2, lines 66–75.
+
+    Among the LAST VOTEs in the (successful) responses, pick the value with
+    the highest ballot; "only if all responses have null values can the
+    client select its own value".
+    """
+    max_ballot = NULL_BALLOT
+    winning: LogEntry | None = None
+    for _src, reply in prepare.replies:
+        if not reply.success:
+            continue
+        if reply.last_value is not None and reply.last_ballot > max_ballot:
+            max_ballot = reply.last_ballot
+            winning = reply.last_value
+    if winning is None:
+        return own_entry
+    return winning
+
+
+class BasicPaxosCommit(PaxosCommitBase):
+    """Megastore's commit protocol: Paxos as concurrency *prevention*."""
+
+    name = "paxos"
+
+    def choose_value(self, prepare, own_entry, txn, n_services) -> ValueDecision:
+        return ValueDecision(kind="value", value=find_winning_val(prepare, own_entry))
+
+    def commit(self, context: "CommitContext") -> Generator:
+        """Run the commit; fills in the outcome on *context*.
+
+        The transaction competes for exactly one position —
+        ``read position + 1`` — and aborts if any other value wins it.
+        """
+        txn: Transaction = context.transaction
+        own_entry = LogEntry.single(txn)
+        result = yield from self.decide_position(
+            txn.group,
+            txn.read_position + 1,
+            txn,
+            own_entry,
+            context.leader_dc,
+        )
+        if result.kind == "committed":
+            context.record_commit(
+                position=txn.read_position + 1,
+                entry=result.entry,
+                fast_path=result.fast_path,
+            )
+            return TransactionStatus.COMMITTED
+        if result.kind == "lost":
+            context.record_abort(AbortReason.LOST_POSITION)
+        else:
+            context.record_abort(AbortReason.TIMEOUT)
+        return TransactionStatus.ABORTED

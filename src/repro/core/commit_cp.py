@@ -1,0 +1,157 @@
+"""Paxos-CP: Paxos with Combination and Promotion (§5).
+
+Two enhancements over the basic protocol, both inside the same per-instance
+message budget:
+
+* **Combination** — when the LAST VOTE responses prove that no value can
+  have reached a majority (``maxVotes + (D − |responseSet|) ≤ D/2``), the
+  proposer is free to pick any value, and picks the longest
+  one-copy-serializable ordered list of transactions assembled from its own
+  transaction plus the transactions found in the received votes
+  (:mod:`repro.core.combine`).
+* **Promotion** — when a single value has provably won the position
+  (majority of votes) and ours is not in it, we stop competing for this
+  position and — unless we read an item one of the winners wrote — re-enter
+  the protocol for the *next* position.  The conflict check is cumulative
+  over every position we lose.
+
+Safety refinement over the paper's prose: the paper promotes whenever
+``maxVotes > D/2`` counting votes per value.  Votes for one value can be
+spread across different ballots, in which case the value is *not* yet
+guaranteed chosen, and promoting against the wrong presumed winner could
+violate the conflict check.  We therefore require the majority to be at a
+single ballot (which is the actual Paxos decision criterion) and otherwise
+fall back to the basic rule — indistinguishable in practice because
+re-proposals carry the winning value forward at one ballot, but provably
+safe.  ``enhancedFindWinningVal``'s vote counting uses only successful
+LAST VOTE responses, exactly as Algorithm 2's ``responseSet`` does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Generator
+
+from repro.config import ProtocolConfig
+from repro.model import AbortReason, Item, Transaction, TransactionStatus
+from repro.core.combine import combine
+from repro.core.commit_basic import find_winning_val
+from repro.core.protocol import PaxosCommitBase, ValueDecision
+from repro.paxos.ballot import Ballot
+from repro.paxos.proposer import PhaseOutcome
+from repro.wal.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import CommitContext
+
+#: Re-exported alias so callers can reason about decisions symbolically.
+CpDecision = ValueDecision
+
+
+def enhanced_find_winning_val(
+    prepare: PhaseOutcome,
+    own_entry: LogEntry,
+    txn: Transaction,
+    n_services: int,
+    config: ProtocolConfig,
+) -> ValueDecision:
+    """Algorithm 2, lines 76–87, with the safety refinement described above.
+
+    Returns a :class:`ValueDecision`:
+    ``combine`` → kind "value" with a combined entry;
+    ``promote`` → kind "promote" with the winner;
+    otherwise → kind "value" with ``findWinningVal``'s answer.
+    """
+    majority = n_services // 2 + 1
+    votes: Counter[tuple[str, ...]] = Counter()
+    ballot_votes: Counter[tuple[Ballot, tuple[str, ...]]] = Counter()
+    values: dict[tuple[str, ...], LogEntry] = {}
+    responses = 0
+    for _src, reply in prepare.replies:
+        if not reply.success:
+            continue
+        responses += 1
+        if reply.last_value is not None:
+            key = reply.last_value.tids
+            votes[key] += 1
+            ballot_votes[(reply.last_ballot, key)] += 1
+            values[key] = reply.last_value
+
+    max_votes = max(votes.values(), default=0)
+    missing = n_services - responses
+
+    if config.enable_combination and max_votes + missing < majority:
+        # No value can have a majority yet: free choice — combine.
+        candidates = [member for entry in values.values() for member in entry]
+        combined = combine(txn, candidates, config.combine_exhaustive_limit)
+        if len(combined) > 1:
+            return ValueDecision(
+                kind="value", value=LogEntry.combined(combined), combined=True
+            )
+        return ValueDecision(kind="value", value=own_entry)
+
+    if config.enable_promotion:
+        for (ballot, key), count in ballot_votes.items():
+            if count >= majority and not values[key].contains(txn.tid):
+                # The position is decided for another value: promote.
+                return ValueDecision(kind="promote", winner=values[key])
+
+    return ValueDecision(kind="value", value=find_winning_val(prepare, own_entry))
+
+
+class PaxosCPCommit(PaxosCommitBase):
+    """The paper's protocol: true concurrency control over the log."""
+
+    name = "paxos-cp"
+
+    def choose_value(self, prepare, own_entry, txn, n_services) -> ValueDecision:
+        return enhanced_find_winning_val(prepare, own_entry, txn, n_services, self.config)
+
+    def commit(self, context: "CommitContext") -> Generator:
+        """Compete for successive positions until committed or conflicted."""
+        txn: Transaction = context.transaction
+        own_entry = LogEntry.single(txn)
+        position = txn.read_position + 1
+        leader_dc = context.leader_dc
+        promotions = 0
+        conflict_writes: set[Item] = set()
+
+        while True:
+            result = yield from self.decide_position(
+                txn.group, position, txn, own_entry, leader_dc
+            )
+            if result.kind == "committed":
+                context.record_commit(
+                    position=position,
+                    entry=result.entry,
+                    fast_path=result.fast_path,
+                    promotions=promotions,
+                    combined=result.entry is not None and len(result.entry) > 1,
+                )
+                return TransactionStatus.COMMITTED
+            if result.kind == "timeout":
+                context.record_abort(AbortReason.TIMEOUT, promotions=promotions)
+                return TransactionStatus.ABORTED
+
+            # Lost the position.  Collect the winners' writes and decide
+            # whether promotion is still serializable (§5, "Promotion").
+            winner = result.entry
+            conflict_writes |= winner.union_write_set()
+            if not self.config.enable_promotion:
+                context.record_abort(AbortReason.LOST_POSITION, promotions=promotions)
+                return TransactionStatus.ABORTED
+            if txn.read_set & conflict_writes:
+                context.record_abort(AbortReason.PROMOTION_CONFLICT, promotions=promotions)
+                return TransactionStatus.ABORTED
+            if (
+                self.config.max_promotions is not None
+                and promotions >= self.config.max_promotions
+            ):
+                context.record_abort(AbortReason.PROMOTION_CAP, promotions=promotions)
+                return TransactionStatus.ABORTED
+
+            promotions += 1
+            position += 1
+            # The winner's datacenter leads the next position (§4.1).
+            head = winner.transactions[0]
+            leader_dc = head.origin_dc or context.home_dc

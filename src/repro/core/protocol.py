@@ -1,0 +1,195 @@
+"""Shared machinery of the Paxos-based commit protocols.
+
+Both basic Paxos (Algorithm 2) and Paxos-CP drive the same message skeleton
+— leader check, prepare, accept, apply, with randomized backoff between
+retries — and differ only in the *value policy* applied between prepare and
+accept.  :class:`PaxosCommitBase` implements the skeleton with a
+``choose_value`` hook; subclasses supply ``findWinningVal`` (basic) or
+``enhancedFindWinningVal`` (CP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Literal
+
+from repro.config import ProtocolConfig
+from repro.model import Transaction
+from repro.paxos import messages as m
+from repro.paxos.ballot import Ballot, fast_path_ballot
+from repro.paxos.proposer import PhaseOutcome, SynodProposer
+from repro.wal.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import TransactionClient
+
+
+@dataclass(frozen=True)
+class ValueDecision:
+    """What ``choose_value`` decided to do with a prepare outcome.
+
+    ``kind``:
+      * ``"value"`` — run the accept phase with ``value``;
+      * ``"promote"`` — the position is decided for ``winner`` (not
+        containing us); stop competing here (§5: "it stops executing the
+        commit protocol before sending accept messages").
+    """
+
+    kind: Literal["value", "promote"]
+    value: LogEntry | None = None
+    winner: LogEntry | None = None
+    combined: bool = False
+
+
+@dataclass
+class PositionResult:
+    """Outcome of competing for one log position.
+
+    ``kind``:
+      * ``"committed"`` — our transaction is in the decided entry;
+      * ``"lost"`` — the position decided without us (``entry`` = winner);
+      * ``"timeout"`` — could not assemble quorums before giving up.
+    """
+
+    kind: Literal["committed", "lost", "timeout"]
+    entry: LogEntry | None = None
+    fast_path: bool = False
+    attempts: int = 0
+
+
+class PaxosCommitBase:
+    """The prepare/accept/apply skeleton shared by both protocols."""
+
+    #: Subclass marker used in metrics and logs.
+    name = "paxos-base"
+
+    def __init__(self, client: "TransactionClient") -> None:
+        self.client = client
+        self.config: ProtocolConfig = client.config
+        self._rng = client.env.rng.stream(f"protocol.{client.node.name}")
+
+    # ------------------------------------------------------------------
+    # The value policy hook
+    # ------------------------------------------------------------------
+
+    def choose_value(
+        self,
+        prepare: PhaseOutcome,
+        own_entry: LogEntry,
+        txn: Transaction,
+        n_services: int,
+    ) -> ValueDecision:
+        """Decide the accept-phase value from the LAST VOTE responses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared phases
+    # ------------------------------------------------------------------
+
+    def _backoff(self) -> Generator:
+        """"Sleep for random time period" (Algorithm 2, lines 40 and 55)."""
+        yield self.client.env.timeout(self._rng.uniform(0.0, self.config.retry_backoff_ms))
+
+    def _claim_fast_path(self, group: str, position: int, leader_dc: str,
+                         claimant: str) -> Generator:
+        """Ask the position's leader whether we may skip the prepare phase.
+
+        "Before executing the commit protocol, the Transaction Client checks
+        with the leader to see if any other clients have begun the commit
+        protocol for the log position.  If the Transaction Client is first,
+        it can bypass the prepare phase." (§4.1)
+
+        ``claimant`` is the transaction id, NOT the client name: a client's
+        next transaction must not inherit the grant its previous transaction
+        obtained for the same position (that inheritance — combined with
+        ballot reuse — once let two different values share one ballot; see
+        tests/integration/test_serializability_properties.py).
+        """
+        leader_service = self.client.service_in(leader_dc)
+        if leader_service is None:
+            return False
+        payload = m.LeaderClaimPayload(group, position, claimant)
+        gather = self.client.node.request(
+            leader_service, m.LEADER_CLAIM, payload,
+            timeout_ms=self.config.timeout_ms,
+        )
+        responses = yield gather
+        if not responses:
+            return False
+        return bool(responses[0].payload.granted)
+
+    def decide_position(
+        self,
+        group: str,
+        position: int,
+        txn: Transaction,
+        own_entry: LogEntry,
+        leader_dc: str | None,
+    ) -> Generator:
+        """Compete for one log position; returns a :class:`PositionResult`.
+
+        Ballot identity: every ballot this method issues carries the
+        *transaction id* as its proposer component.  Paxos requires that a
+        proposer never issue two different values under one ballot; a
+        client's consecutive transactions can compete for the same position
+        (the APPLY of the previous one may still be in flight when the next
+        begins), so the client *node* name is not a safe identity — the
+        transaction id is.
+        """
+        proposer = SynodProposer(
+            self.client.node, group, position, self.client.service_names(), self.config
+        )
+        majority = proposer.majority
+        identity = txn.tid
+        attempts = 0
+
+        # --- Fast path (§4.1 optimization) ---------------------------------
+        if self.config.leader_fastpath and leader_dc is not None:
+            granted = yield from self._claim_fast_path(
+                group, position, leader_dc, claimant=identity
+            )
+            if granted:
+                ballot = fast_path_ballot(identity)
+                accept = yield from proposer.accept(ballot, own_entry)
+                attempts += 1
+                if accept.successes >= majority:
+                    proposer.apply(ballot, own_entry)
+                    return PositionResult(
+                        "committed", own_entry, fast_path=True, attempts=attempts
+                    )
+                # Contention appeared: fall through to the full protocol.
+
+        # --- Full protocol (Algorithm 2) ------------------------------------
+        ballot = Ballot(1, identity)
+        while attempts < self.config.max_commit_attempts:
+            attempts += 1
+            prepare = yield from proposer.prepare(ballot)
+            if prepare.chosen is not None:
+                return self._from_decided(prepare.chosen, txn, attempts)
+            if prepare.successes < majority:
+                yield from self._backoff()
+                ballot = ballot.next_round(identity, prepare.max_promised)
+                continue
+            decision = self.choose_value(prepare, own_entry, txn, len(proposer.services))
+            if decision.kind == "promote":
+                return PositionResult("lost", decision.winner, attempts=attempts)
+            value = decision.value
+            accept = yield from proposer.accept(ballot, value)
+            if accept.successes >= majority:
+                proposer.apply(ballot, value)
+                return self._from_decided(value, txn, attempts)
+            yield from self._backoff()
+            ballot = ballot.next_round(identity, accept.max_promised)
+        return PositionResult("timeout", None, attempts=attempts)
+
+    @staticmethod
+    def _from_decided(entry: LogEntry, txn: Transaction, attempts: int) -> PositionResult:
+        """Classify a decided entry: did our transaction make it in?
+
+        "The Transaction Client then checks whether the winning value is its
+        own transaction, and if so, it returns a commit status" (§4.1) —
+        generalized to membership in the winning list for Paxos-CP.
+        """
+        if entry.contains(txn.tid):
+            return PositionResult("committed", entry, attempts=attempts)
+        return PositionResult("lost", entry, attempts=attempts)

@@ -1,0 +1,257 @@
+"""The Transaction Service (§2.2, §4).
+
+Every datacenter runs one Transaction Service per deployment.  "The
+Transaction Service handles each client request in its own service process,
+and these processes are stateless" — all durable state lives in the
+datacenter's key-value store.  Here each incoming message spawns a handler
+process on the service's node; the only in-memory state besides caches is
+the leader-claim table (which Megastore likewise keeps at the leader site)
+and the applied-log watermark (recoverable by scanning the store).
+
+Responsibilities:
+
+* Paxos acceptor for every (group, position) — :class:`repro.paxos.acceptor.Acceptor`;
+* ``begin``: report the local read position and the leader for the next
+  position (transaction protocol step 1);
+* ``read``: serve an attribute at a pinned log position, first applying any
+  committed-but-unapplied entries ("If the log entries up through read
+  position have not yet been applied to the datastore, the Transaction
+  Service applies these operations", step 2), running catch-up for missing
+  decisions (§4.1 Fault Tolerance);
+* leader-claim arbitration for the fast path (§4.1 optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.config import ProtocolConfig
+from repro.kvstore.service import StoreAccessor
+from repro.kvstore.store import MultiVersionStore
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.paxos import messages as m
+from repro.paxos.acceptor import Acceptor
+from repro.paxos.learner import Learner
+from repro.sim.sync import Lock
+from repro.wal.log import LogReplica, data_row_key
+from repro.wal.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.sim.env import Environment
+
+#: Message types served in addition to the Paxos ones.
+BEGIN = "txn.begin"
+READ = "txn.read"
+
+
+@dataclass(frozen=True)
+class BeginReply:
+    """Answer to ``begin``: where to read, and who leads the next position."""
+
+    read_position: int
+    leader_dc: str
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Answer to ``read``; ``ok=False`` means the service could not catch up."""
+
+    ok: bool
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A pinned read: ``row.attribute`` as of log ``position``."""
+
+    group: str
+    row: str
+    attribute: str
+    position: int
+
+
+@dataclass(frozen=True)
+class BeginRequest:
+    group: str
+
+
+def service_name(datacenter: str) -> str:
+    """Canonical node name of the Transaction Service in *datacenter*."""
+    return f"svc:{datacenter}"
+
+
+class TransactionService:
+    """One datacenter's transaction tier endpoint."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: "Network",
+        datacenter: str,
+        store: MultiVersionStore,
+        config: ProtocolConfig,
+        home_dc: str,
+        store_accessor: StoreAccessor | None = None,
+    ) -> None:
+        self.env = env
+        self.datacenter = datacenter
+        self.config = config
+        self.home_dc = home_dc
+        self.store = store
+        self.accessor = store_accessor or StoreAccessor(env, store)
+        self.node = Node(env, network, service_name(datacenter), datacenter)
+        self.acceptor = Acceptor(self.accessor)
+        self._replicas: dict[str, LogReplica] = {}
+        self._apply_locks: dict[str, Lock] = {}
+        self._leader_claims: dict[tuple[str, int], str] = {}
+        self._peers: list[str] = []
+        self._register_handlers()
+
+    def set_peers(self, service_names: list[str]) -> None:
+        """Tell this service where the other replicas are (for catch-up)."""
+        self._peers = list(service_names)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        self.node.on(m.PREPARE, lambda msg: self.acceptor.on_prepare(msg.payload))
+        self.node.on(m.ACCEPT, lambda msg: self.acceptor.on_accept(msg.payload))
+        self.node.on(m.APPLY, self._on_apply)
+        self.node.on(m.LEARN, lambda msg: self.acceptor.on_learn(msg.payload))
+        self.node.on(m.LEADER_CLAIM, self._on_leader_claim)
+        self.node.on(BEGIN, self._on_begin)
+        self.node.on(READ, self._on_read)
+
+    def replica(self, group: str) -> LogReplica:
+        """The local log replica for *group* (created on first use)."""
+        replica = self._replicas.get(group)
+        if replica is None:
+            replica = LogReplica(self.store, group)
+            self._replicas[group] = replica
+        return replica
+
+    def _apply_lock(self, group: str) -> Lock:
+        lock = self._apply_locks.get(group)
+        if lock is None:
+            lock = Lock(self.env)
+            self._apply_locks[group] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _on_apply(self, msg: Message) -> Generator:
+        """APPLY also invalidates the replica's chosen-entry cache path."""
+        payload: m.ApplyPayload = msg.payload
+        yield from self.acceptor.on_apply(payload)
+        # Seed the cache so read_position() sees the new entry without
+        # another store read.
+        self.replica(payload.group)._chosen_cache.setdefault(payload.position, payload.value)
+        return None
+
+    def _on_begin(self, msg: Message) -> Generator:
+        """Report the local read position and next-position leader.
+
+        Costs one store read (the metadata lookup a real service performs).
+        """
+        payload: BeginRequest = msg.payload
+        replica = self.replica(payload.group)
+        yield self.accessor.read(data_row_key(payload.group, "_head"))
+        position = replica.read_position()
+        return BeginReply(
+            read_position=position,
+            leader_dc=self.leader_dc(payload.group, position + 1),
+        )
+
+    def leader_dc(self, group: str, position: int) -> str:
+        """The leader site for *position*: the datacenter of the winner of
+        ``position - 1``; the group's home datacenter when there is no
+        previous winner (start of the log or unknown locally)."""
+        if position <= 1:
+            return self.home_dc
+        previous = self.replica(group).chosen_entry(position - 1)
+        if previous is None or not previous.transactions[0].origin_dc:
+            return self.home_dc
+        return previous.transactions[0].origin_dc
+
+    def _on_leader_claim(self, msg: Message):
+        """Fast-path arbitration: first claimant per (group, position) wins."""
+        payload: m.LeaderClaimPayload = msg.payload
+        key = (payload.group, payload.position)
+        holder = self._leader_claims.setdefault(key, payload.claimant)
+        return m.LeaderClaimReply(granted=holder == payload.claimant)
+
+    def _on_read(self, msg: Message) -> Generator:
+        """Serve a pinned read, applying the log as needed (step 2)."""
+        request: ReadRequest = msg.payload
+        replica = self.replica(request.group)
+        caught_up = yield from self._ensure_applied(request.group, request.position)
+        if not caught_up:
+            return ReadReply(ok=False)
+        version = yield self.accessor.read(
+            data_row_key(request.group, request.row), timestamp=request.position
+        )
+        value = None if version is None else version.get(request.attribute)
+        return ReadReply(ok=True, value=value)
+
+    # ------------------------------------------------------------------
+    # Log application and catch-up
+    # ------------------------------------------------------------------
+
+    def _ensure_applied(self, group: str, position: int) -> Generator:
+        """Apply committed entries through *position*; catch up on gaps.
+
+        Returns True on success, False if some decision could not be learned
+        (e.g. a majority of replicas is unreachable).
+        """
+        replica = self.replica(group)
+        if replica.applied_through >= position:
+            return True
+        # Learn any missing decisions first, without holding the apply lock.
+        for missing in range(replica.applied_through + 1, position + 1):
+            if replica.is_chosen(missing):
+                continue
+            entry = yield from self._catch_up(group, missing)
+            if entry is None:
+                return False
+        lock = self._apply_lock(group)
+        yield lock.acquire()
+        try:
+            while replica.applied_through < position:
+                next_position = replica.applied_through + 1
+                entry = replica.chosen_entry(next_position)
+                if entry is None:  # raced with a concurrent catch-up failure
+                    return False
+                for row, attributes in entry.write_image().items():
+                    yield self.accessor.write(
+                        data_row_key(group, row), attributes, timestamp=next_position
+                    )
+                replica.mark_applied(next_position)
+        finally:
+            lock.release()
+        return True
+
+    def _catch_up(self, group: str, position: int) -> Generator:
+        """Learn one missing decision from the peer replicas (§4.1)."""
+        learner = Learner(self.node, group, self._peers or [self.node.name], self.config)
+        entry = yield from learner.learn_or_decide(position)
+        if entry is not None:
+            self.replica(group).record_chosen(position, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and the harness
+    # ------------------------------------------------------------------
+
+    def chosen_log(self, group: str) -> dict[int, LogEntry]:
+        """All decisions this replica knows for *group*."""
+        return self.replica(group).entries()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TransactionService {self.datacenter}>"

@@ -1,0 +1,164 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class at API boundaries.  Errors are grouped by the
+subsystem that raises them (simulation kernel, key-value store, network,
+transaction tier) and carry enough structured context to be useful in tests
+and in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulation kernel."""
+
+
+class SimulationFinished(SimulationError):
+    """Raised when :meth:`Environment.run` exhausts its event queue.
+
+    This is a control-flow signal rather than a failure: the simulation has no
+    more scheduled work.  It is only raised when the caller asked to run
+    forever (``until=None``) and the queue drained.
+    """
+
+
+class ProcessKilled(SimulationError):
+    """Injected into a process generator when the process is killed."""
+
+
+class InvalidYield(SimulationError):
+    """A process yielded something that is not a waitable event."""
+
+
+# ---------------------------------------------------------------------------
+# Key-value store
+# ---------------------------------------------------------------------------
+
+
+class KVStoreError(ReproError):
+    """Base class for key-value store errors."""
+
+
+class RowVersionError(KVStoreError):
+    """A write specified a timestamp not greater than an existing version.
+
+    The paper's ``write(key, value, timestamp)`` primitive returns an error if
+    a version with a greater (or equal) timestamp already exists; we surface
+    that as an exception carrying the offending and existing timestamps.
+    """
+
+    def __init__(self, key: str, timestamp: int, existing: int) -> None:
+        super().__init__(
+            f"write to {key!r} at timestamp {timestamp} rejected: "
+            f"a version with timestamp {existing} already exists"
+        )
+        self.key = key
+        self.timestamp = timestamp
+        self.existing = existing
+
+
+class CheckFailed(KVStoreError):
+    """A ``check_and_write`` test predicate did not hold.
+
+    The store also reports this outcome as a boolean status; the exception
+    form is used by callers that treat a failed check as exceptional.
+    """
+
+    def __init__(self, key: str, attribute: str, expected: object, actual: object) -> None:
+        super().__init__(
+            f"check_and_write on {key!r}.{attribute} failed: "
+            f"expected {expected!r}, found {actual!r}"
+        )
+        self.key = key
+        self.attribute = attribute
+        self.expected = expected
+        self.actual = actual
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network substrate errors."""
+
+
+class UnknownDatacenter(NetworkError):
+    """A message was addressed to a datacenter not present in the topology."""
+
+
+# ---------------------------------------------------------------------------
+# Transaction tier
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction tier errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The commit protocol aborted the transaction.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable abort reason (``"lost_position"``,
+        ``"promotion_conflict"``, ``"timeout"``, ``"client_crash"``).
+    """
+
+    def __init__(self, tid: str, reason: str) -> None:
+        super().__init__(f"transaction {tid} aborted: {reason}")
+        self.tid = tid
+        self.reason = reason
+
+
+class TransactionStateError(TransactionError):
+    """The transaction API was used out of order (e.g. read before begin)."""
+
+
+class QuorumTimeout(TransactionError):
+    """A protocol phase failed to gather a majority before the timeout."""
+
+    def __init__(self, phase: str, got: int, needed: int) -> None:
+        super().__init__(
+            f"{phase} phase timed out with {got}/{needed} responses"
+        )
+        self.phase = phase
+        self.got = got
+        self.needed = needed
+
+
+class ServiceUnavailable(TransactionError):
+    """No transaction service (local or remote) answered a request."""
+
+
+# ---------------------------------------------------------------------------
+# Serializability analysis
+# ---------------------------------------------------------------------------
+
+
+class HistoryError(ReproError):
+    """A history object is malformed (e.g. a read of a version never written)."""
+
+
+class NotOneCopySerializable(HistoryError):
+    """Raised by strict checkers when a history fails Definition 1.
+
+    Carries the offending cycle (as a list of transaction ids) when the
+    checker can produce one.
+    """
+
+    def __init__(self, message: str, cycle: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle or []

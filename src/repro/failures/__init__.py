@@ -1,0 +1,18 @@
+"""Fault injection.
+
+The paper's availability story (§1, §2.2, §4.1) rests on surviving exactly
+these faults: datacenter outages ("Individual transaction tiers may go
+offline and come back online without notice"), message loss (UDP with a
+two-second loss-detection timeout), and client failure mid-protocol ("If a
+Transaction Client fails in the middle of the commit protocol, its
+transaction may be committed or aborted").
+
+:class:`~repro.failures.injector.FailureInjector` schedules all three
+against a running cluster; the integration and property tests use it to
+verify that the correctness obligations hold under adversity and that the
+system stays available while a majority of datacenters is up.
+"""
+
+from repro.failures.injector import FailureInjector
+
+__all__ = ["FailureInjector"]

@@ -1,0 +1,89 @@
+"""Scheduling faults against a running cluster.
+
+All methods schedule effects at absolute simulated times (ms) and return
+immediately; the effects fire as the simulation advances.  Every method can
+be called before or during a run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+
+
+class FailureInjector:
+    """Injects datacenter outages, loss episodes, partitions, and crashes."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.network = cluster.network
+        self.log: list[tuple[float, str]] = []
+
+    def _at(self, when_ms: float, action, description: str) -> None:
+        delay = max(0.0, when_ms - self.env.now)
+        wakeup = self.env.timeout(delay)
+
+        def fire(_event) -> None:
+            self.log.append((self.env.now, description))
+            action()
+
+        wakeup.add_callback(fire)
+
+    # ------------------------------------------------------------------
+    # Datacenter outages
+    # ------------------------------------------------------------------
+
+    def outage(self, datacenter: str, start_ms: float, duration_ms: float) -> None:
+        """Take *datacenter* down for a window; all its traffic is dropped.
+
+        Models the EC2-style whole-datacenter failures of §1.  The
+        datacenter's store survives the outage (state is durable); only
+        message delivery stops — which is exactly the paper's failure model
+        for transaction tiers going offline and back online.
+        """
+        self._at(start_ms, lambda: self.network.take_down(datacenter),
+                 f"outage start {datacenter}")
+        self._at(start_ms + duration_ms, lambda: self.network.bring_up(datacenter),
+                 f"outage end {datacenter}")
+
+    # ------------------------------------------------------------------
+    # Message loss
+    # ------------------------------------------------------------------
+
+    def loss_episode(self, probability: float, start_ms: float, duration_ms: float) -> None:
+        """Raise the Bernoulli loss rate during a window, then restore it."""
+        previous = self.network.loss_probability
+
+        def raise_loss() -> None:
+            self.network.loss_probability = probability
+
+        def restore() -> None:
+            self.network.loss_probability = previous
+
+        self._at(start_ms, raise_loss, f"loss {probability} start")
+        self._at(start_ms + duration_ms, restore, "loss end")
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def partition(self, dc_a: str, dc_b: str, start_ms: float, duration_ms: float) -> None:
+        """Sever one inter-datacenter link for a window."""
+        self._at(start_ms, lambda: self.network.sever(dc_a, dc_b),
+                 f"partition {dc_a}|{dc_b} start")
+        self._at(start_ms + duration_ms, lambda: self.network.heal(dc_a, dc_b),
+                 f"partition {dc_a}|{dc_b} end")
+
+    # ------------------------------------------------------------------
+    # Client crashes
+    # ------------------------------------------------------------------
+
+    def kill_process_at(self, process: Process, when_ms: float,
+                        reason: str = "injected crash") -> None:
+        """Kill a client process mid-flight (§4.1: commit may land anyway)."""
+        self._at(when_ms, lambda: process.kill(reason), f"kill {process.name}")

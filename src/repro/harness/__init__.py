@@ -1,0 +1,34 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+The evaluation section (§6) contains five figures and no tables:
+
+* Figure 4 — commits and latency vs. number of replicas;
+* Figure 5 — commits and latency vs. datacenter combination;
+* Figure 6 — commits vs. data contention (total attributes);
+* Figure 7 — commits vs. offered throughput;
+* Figure 8 — per-datacenter commits/latency with one YCSB instance per
+  datacenter.
+
+:mod:`repro.harness.figures` defines one experiment grid per figure,
+:mod:`repro.harness.experiment` executes a grid cell (one cluster × one
+protocol × one workload) for one or more seeds, :mod:`repro.harness.metrics`
+aggregates outcomes into the statistics the paper reports (commit counts per
+promotion round, latency per round, combination counts), and
+:mod:`repro.harness.report` renders paper-vs-measured tables.
+"""
+
+from repro.harness.experiment import ExperimentResult, ExperimentSpec, run_cell, run_once
+from repro.harness.metrics import LogStats, RunMetrics, aggregate_metrics
+from repro.harness.report import format_cells, format_comparison
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "LogStats",
+    "RunMetrics",
+    "aggregate_metrics",
+    "format_cells",
+    "format_comparison",
+    "run_cell",
+    "run_once",
+]

@@ -1,0 +1,104 @@
+"""Executing one experiment cell.
+
+A *cell* is (cluster config × workload config × protocol).  ``run_once``
+builds a fresh cluster, preloads the entity group, starts the workload
+instance(s), drains the simulation, finalizes the log, optionally runs the
+full §3 invariant suite, and returns metrics.  ``run_cell`` repeats with
+distinct seeds and averages, which is what the paper does ("We have
+performed each experiment several times with similar results, and we
+present the average here").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.harness.metrics import RunMetrics, aggregate_metrics
+from repro.model import TransactionOutcome
+from repro.workload.driver import WorkloadDriver
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid.
+
+    ``client_datacenter`` places the (single-instance) YCSB clients; when
+    ``None`` the first Virginia zone is used if the cluster has one, else
+    the first datacenter — the paper's load generator ran in Virginia.
+    """
+
+    name: str
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    protocol: ProtocolName = "paxos"
+    per_datacenter_instances: bool = False
+    check_invariants: bool = True
+    client_datacenter: str | None = None
+
+    def scaled(self, n_transactions: int) -> "ExperimentSpec":
+        """The same cell with a smaller transaction budget (for CI runs)."""
+        return replace(self, workload=replace(self.workload, n_transactions=n_transactions))
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics for one cell (plus per-instance breakdown for Figure 8)."""
+
+    spec: ExperimentSpec
+    metrics: RunMetrics
+    per_instance: dict[str, RunMetrics] = field(default_factory=dict)
+    outcomes: list[TransactionOutcome] = field(default_factory=list)
+
+
+def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
+    """Execute one cell once with one seed."""
+    cluster = Cluster(replace(spec.cluster, seed=seed))
+    if spec.per_datacenter_instances:
+        drivers = WorkloadDriver.per_datacenter(cluster, spec.workload, spec.protocol)
+    else:
+        datacenter = spec.client_datacenter
+        if datacenter is None:
+            virginia = [dc for dc in cluster.topology.names if dc.startswith("V")]
+            datacenter = virginia[0] if virginia else cluster.topology.names[0]
+        drivers = [WorkloadDriver(cluster, spec.workload, spec.protocol,
+                                  datacenter=datacenter)]
+    drivers[0].install_data()
+    for driver in drivers:
+        driver.start()
+    cluster.run()
+    group = spec.workload.group
+    log = cluster.finalize(group)
+    outcomes = [outcome for driver in drivers for outcome in driver.result.outcomes]
+    if spec.check_invariants:
+        cluster.check_invariants(group, outcomes)
+    metrics = RunMetrics.from_outcomes(outcomes, protocol=spec.protocol, log=log)
+    per_instance = {
+        driver.result.datacenter: RunMetrics.from_outcomes(
+            driver.result.outcomes, protocol=spec.protocol
+        )
+        for driver in drivers
+    }
+    return ExperimentResult(
+        spec=spec, metrics=metrics, per_instance=per_instance, outcomes=outcomes
+    )
+
+
+def run_cell(spec: ExperimentSpec, trials: int = 3, base_seed: int = 0) -> ExperimentResult:
+    """Execute one cell for several seeds and average the metrics."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    runs = [run_once(spec, seed=base_seed + trial) for trial in range(trials)]
+    merged = aggregate_metrics([run.metrics for run in runs])
+    per_instance: dict[str, RunMetrics] = {}
+    for dc in runs[0].per_instance:
+        per_instance[dc] = aggregate_metrics([run.per_instance[dc] for run in runs])
+    return ExperimentResult(
+        spec=spec, metrics=merged, per_instance=per_instance,
+        outcomes=list(runs[0].outcomes),
+    )

@@ -1,0 +1,162 @@
+"""Aggregating transaction outcomes into the paper's reported statistics.
+
+The figures report, per experiment: successful commits out of 500 (stacked
+by promotion round for Paxos-CP), average commit latency (again by round),
+and — in the §6 prose — combination counts ("At most, 24 combinations were
+performed per experiment, and the average number of combinations was only
+6.8") and maximum promotions observed ("no transaction was able to execute
+more than seven promotions before aborting").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean, median
+from typing import Iterable
+
+from repro.model import AbortReason, TransactionOutcome
+from repro.wal.entry import LogEntry
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass
+class LogStats:
+    """What the final write-ahead log shows about a run."""
+
+    positions: int = 0
+    combined_entries: int = 0
+    combined_transactions: int = 0
+    max_entry_size: int = 0
+
+    @classmethod
+    def from_log(cls, log: dict[int, LogEntry]) -> "LogStats":
+        stats = cls(positions=len(log))
+        for entry in log.values():
+            if len(entry) > 1:
+                stats.combined_entries += 1
+                stats.combined_transactions += len(entry) - 1
+            stats.max_entry_size = max(stats.max_entry_size, len(entry))
+        return stats
+
+
+@dataclass
+class RunMetrics:
+    """Statistics for one protocol on one workload run."""
+
+    protocol: str = ""
+    n_transactions: int = 0
+    commits: int = 0
+    aborts_by_reason: dict[str, int] = field(default_factory=dict)
+    commits_by_round: dict[int, int] = field(default_factory=dict)
+    latency_by_round: dict[int, float] = field(default_factory=dict)
+    mean_commit_latency_ms: float = float("nan")
+    median_commit_latency_ms: float = float("nan")
+    p95_commit_latency_ms: float = float("nan")
+    mean_all_latency_ms: float = float("nan")
+    max_promotions: int = 0
+    duration_ms: float = 0.0
+    log: LogStats = field(default_factory=LogStats)
+
+    @property
+    def aborts(self) -> int:
+        return self.n_transactions - self.commits
+
+    @property
+    def commit_rate(self) -> float:
+        if self.n_transactions == 0:
+            return float("nan")
+        return self.commits / self.n_transactions
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes: Iterable[TransactionOutcome],
+        protocol: str = "",
+        log: dict[int, LogEntry] | None = None,
+    ) -> "RunMetrics":
+        outcomes = list(outcomes)
+        metrics = cls(protocol=protocol, n_transactions=len(outcomes))
+        commit_latencies: list[float] = []
+        all_latencies: list[float] = []
+        per_round: dict[int, list[float]] = {}
+        for outcome in outcomes:
+            all_latencies.append(outcome.latency_ms)
+            metrics.max_promotions = max(metrics.max_promotions, outcome.promotions)
+            if outcome.committed:
+                metrics.commits += 1
+                metrics.commits_by_round[outcome.promotions] = (
+                    metrics.commits_by_round.get(outcome.promotions, 0) + 1
+                )
+                per_round.setdefault(outcome.promotions, []).append(outcome.latency_ms)
+                commit_latencies.append(outcome.latency_ms)
+            else:
+                reason = str(outcome.abort_reason or AbortReason.TIMEOUT)
+                metrics.aborts_by_reason[reason] = (
+                    metrics.aborts_by_reason.get(reason, 0) + 1
+                )
+            metrics.duration_ms = max(metrics.duration_ms, outcome.end_time)
+        if commit_latencies:
+            ordered = sorted(commit_latencies)
+            metrics.mean_commit_latency_ms = fmean(commit_latencies)
+            metrics.median_commit_latency_ms = median(commit_latencies)
+            metrics.p95_commit_latency_ms = _percentile(ordered, 0.95)
+        if all_latencies:
+            metrics.mean_all_latency_ms = fmean(all_latencies)
+        metrics.latency_by_round = {
+            round_: fmean(values) for round_, values in sorted(per_round.items())
+        }
+        if log is not None:
+            metrics.log = LogStats.from_log(log)
+        return metrics
+
+
+def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
+    """Average per-trial metrics (the paper reports run averages)."""
+    if not trials:
+        raise ValueError("no trials to aggregate")
+    if len(trials) == 1:
+        return trials[0]
+    result = RunMetrics(
+        protocol=trials[0].protocol,
+        n_transactions=round(fmean(t.n_transactions for t in trials)),
+        commits=round(fmean(t.commits for t in trials)),
+    )
+    reasons = {reason for t in trials for reason in t.aborts_by_reason}
+    result.aborts_by_reason = {
+        reason: round(fmean(t.aborts_by_reason.get(reason, 0) for t in trials))
+        for reason in sorted(reasons)
+    }
+    rounds = {r for t in trials for r in t.commits_by_round}
+    result.commits_by_round = {
+        r: round(fmean(t.commits_by_round.get(r, 0) for t in trials))
+        for r in sorted(rounds)
+    }
+    latency_rounds = {r for t in trials for r in t.latency_by_round}
+    result.latency_by_round = {
+        r: fmean([t.latency_by_round[r] for t in trials if r in t.latency_by_round])
+        for r in sorted(latency_rounds)
+    }
+
+    def _safe_mean(values: list[float]) -> float:
+        finite = [v for v in values if v == v]  # drop NaNs
+        return fmean(finite) if finite else float("nan")
+
+    result.mean_commit_latency_ms = _safe_mean([t.mean_commit_latency_ms for t in trials])
+    result.median_commit_latency_ms = _safe_mean([t.median_commit_latency_ms for t in trials])
+    result.p95_commit_latency_ms = _safe_mean([t.p95_commit_latency_ms for t in trials])
+    result.mean_all_latency_ms = _safe_mean([t.mean_all_latency_ms for t in trials])
+    result.max_promotions = max(t.max_promotions for t in trials)
+    result.duration_ms = fmean(t.duration_ms for t in trials)
+    result.log = LogStats(
+        positions=round(fmean(t.log.positions for t in trials)),
+        combined_entries=round(fmean(t.log.combined_entries for t in trials)),
+        combined_transactions=round(fmean(t.log.combined_transactions for t in trials)),
+        max_entry_size=max(t.log.max_entry_size for t in trials),
+    )
+    return result

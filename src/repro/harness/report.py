@@ -1,0 +1,113 @@
+"""Rendering results as the tables the figures plot.
+
+Plain-text tables, deliberately: benchmarks print them to stdout and
+EXPERIMENTS.md embeds them verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.metrics import RunMetrics
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """A fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _round_histogram(metrics: RunMetrics, max_rounds: int = 4) -> str:
+    """Commits per promotion round as ``r0:312 r1:74 r2:21 ...``."""
+    if not metrics.commits_by_round:
+        return "-"
+    parts = []
+    overflow = 0
+    for round_, count in sorted(metrics.commits_by_round.items()):
+        if round_ < max_rounds:
+            parts.append(f"r{round_}:{count}")
+        else:
+            overflow += count
+    if overflow:
+        parts.append(f"r{max_rounds}+:{overflow}")
+    return " ".join(parts)
+
+
+def format_cells(results: list[ExperimentResult], title: str = "") -> str:
+    """One row per cell: commits, per-round histogram, latency."""
+    headers = [
+        "cell", "protocol", "txns", "commits", "rate",
+        "by promotion round", "lat ms (commit)", "lat ms (all)",
+        "combined", "max promo",
+    ]
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        rows.append([
+            result.spec.name,
+            metrics.protocol,
+            str(metrics.n_transactions),
+            str(metrics.commits),
+            _fmt(100 * metrics.commit_rate) + "%",
+            _round_histogram(metrics),
+            _fmt(metrics.mean_commit_latency_ms),
+            _fmt(metrics.mean_all_latency_ms),
+            str(metrics.log.combined_entries),
+            str(metrics.max_promotions),
+        ])
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_per_instance(result: ExperimentResult, title: str = "") -> str:
+    """Figure 8 view: one row per datacenter instance."""
+    headers = ["datacenter", "protocol", "txns", "commits", "rate", "lat ms (commit)"]
+    rows = []
+    for dc, metrics in sorted(result.per_instance.items()):
+        rows.append([
+            dc,
+            metrics.protocol,
+            str(metrics.n_transactions),
+            str(metrics.commits),
+            _fmt(100 * metrics.commit_rate) + "%",
+            _fmt(metrics.mean_commit_latency_ms),
+        ])
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_comparison(
+    paper_shape: str, results: list[ExperimentResult], figure: str
+) -> str:
+    """The paper-vs-measured block the benchmarks print."""
+    lines = [
+        f"== {figure} ==",
+        f"paper: {paper_shape}",
+        "",
+        format_cells(results),
+    ]
+    for result in results:
+        if len(result.per_instance) > 1:
+            lines.append("")
+            lines.append(format_per_instance(
+                result, title=f"per-datacenter ({result.spec.protocol})"
+            ))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Latency-modelled access to a datacenter's key-value store.
+
+The paper ran HBase on EC2 c1.medium instances with EBS volumes; every store
+operation the transaction tier performs (reading a row, casting a Paxos vote
+via ``checkAndWrite``, applying a log entry) costs single-digit milliseconds
+there.  That cost is what stretches a transaction's lifetime and creates the
+contention window in which two transactions race for the same log position —
+without it, a simulated transaction would execute instantaneously and the
+paper's abort rates could not arise.
+
+:class:`StoreAccessor` wraps a :class:`MultiVersionStore` and yields a
+simulated delay around each operation.  Protocol code uses it from processes::
+
+    version = yield accessor.read(key, timestamp)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.kvstore.store import MultiVersionStore
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.env import Environment
+
+
+class StoreLatencyModel:
+    """Per-operation latency for the key-value store.
+
+    Draws uniformly from ``[low_ms, high_ms]``.  The defaults (10–24 ms,
+    mean 17 ms) are calibrated so that a 10-operation transaction occupies a
+    contention window that reproduces the basic-Paxos abort rates of §6 at
+    the paper's offered load (see EXPERIMENTS.md for the calibration
+    narrative).  Set ``low_ms = high_ms = 0`` for instantaneous stores in
+    unit tests.
+    """
+
+    def __init__(self, low_ms: float = 10.0, high_ms: float = 24.0) -> None:
+        if low_ms < 0 or high_ms < low_ms:
+            raise ValueError(f"invalid latency range [{low_ms}, {high_ms}]")
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+
+    def draw(self, rng) -> float:
+        """One operation's latency in milliseconds."""
+        if self.high_ms == 0:
+            return 0.0
+        return rng.uniform(self.low_ms, self.high_ms)
+
+    @classmethod
+    def instant(cls) -> "StoreLatencyModel":
+        """A zero-latency model for tests."""
+        return cls(0.0, 0.0)
+
+
+class StoreAccessor:
+    """Async facade over a :class:`MultiVersionStore`.
+
+    Each method returns an :class:`~repro.sim.events.Event` that fires with
+    the operation's result after the modelled delay.  The underlying store
+    mutation happens when the event fires (not at call time), so concurrent
+    in-flight operations interleave the way they would against a real store —
+    while still executing each individual operation atomically.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        store: MultiVersionStore,
+        latency: StoreLatencyModel | None = None,
+        rng_stream: str | None = None,
+    ) -> None:
+        self.env = env
+        self.store = store
+        self.latency = latency or StoreLatencyModel()
+        self._rng = env.rng.stream(rng_stream or f"kvstore.{store.name}")
+
+    def _deferred(self, operation) -> Event:
+        done = self.env.event()
+        delay = self.latency.draw(self._rng)
+        wakeup = self.env.timeout(delay)
+
+        def run(_event: Event) -> None:
+            try:
+                done.succeed(operation())
+            except Exception as exc:  # store errors flow to the waiter
+                done.fail(exc)
+
+        wakeup.add_callback(run)
+        return done
+
+    # ------------------------------------------------------------------
+    # The paper's operations, asynchronous
+    # ------------------------------------------------------------------
+
+    def read(self, key: str, timestamp: float | None = None) -> Event:
+        """Deferred :meth:`MultiVersionStore.read`."""
+        return self._deferred(lambda: self.store.read(key, timestamp))
+
+    def write(self, key: str, attributes: Mapping[str, Any],
+              timestamp: float | None = None) -> Event:
+        """Deferred :meth:`MultiVersionStore.write`."""
+        return self._deferred(lambda: self.store.write(key, attributes, timestamp))
+
+    def check_and_write(
+        self,
+        key: str,
+        test_attribute: str,
+        test_value: Any,
+        attributes: Mapping[str, Any],
+        timestamp: float | None = None,
+    ) -> Event:
+        """Deferred :meth:`MultiVersionStore.check_and_write`."""
+        return self._deferred(
+            lambda: self.store.check_and_write(
+                key, test_attribute, test_value, attributes, timestamp
+            )
+        )
+
+    def read_attribute(self, key: str, attribute: str,
+                       timestamp: float | None = None, default: Any = None) -> Event:
+        """Deferred :meth:`MultiVersionStore.read_attribute`."""
+        return self._deferred(
+            lambda: self.store.read_attribute(key, attribute, timestamp, default)
+        )

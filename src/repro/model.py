@@ -1,0 +1,172 @@
+"""Shared data model: transactions, data items, and conflict predicates.
+
+A *data item* is one attribute of one row — the granularity at which the
+paper's combination and promotion enhancements detect conflicts.  Items are
+``(row_key, attribute)`` tuples.
+
+A :class:`Transaction` here is the *committed-form* record that travels
+through the commit protocol and into the write-ahead log: its read set, its
+ordered writes, and the log position it read from.  The mutable in-progress
+state (the client's readSet/writeSet buffers) lives in
+:class:`repro.core.client.TransactionHandle`.
+
+The conflict predicate that both Paxos-CP enhancements rely on is
+*reads-from* interference (§5): transaction ``t`` cannot be placed after
+transaction ``s`` in the same or a later log position if ``t`` read any item
+that ``s`` wrote, because ``t``'s reads would no longer be the latest writes
+before its commit position.  Write-write overlap alone is harmless — the log
+order serializes blind writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: A data item: (row key, attribute name).
+Item = tuple[str, str]
+
+
+class TransactionStatus(enum.Enum):
+    """Terminal status of a transaction attempt, as reported to the client."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AbortReason(enum.Enum):
+    """Why the commit protocol aborted a transaction."""
+
+    LOST_POSITION = "lost_position"          # basic Paxos: another value won
+    PROMOTION_CONFLICT = "promotion_conflict"  # CP: read something a winner wrote
+    PROMOTION_CAP = "promotion_cap"          # CP: configured promotion limit hit
+    TIMEOUT = "timeout"                      # could not reach a quorum
+    CLIENT_CRASH = "client_crash"            # fault injection killed the client
+    SERVICE_UNAVAILABLE = "service_unavailable"  # no service answered begin/read
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A read/write transaction in the form the commit protocol ships around.
+
+    Attributes
+    ----------
+    tid:
+        Globally unique transaction id (client name + local counter).
+    group:
+        Transaction group key (the paper's entity-group key).
+    read_set:
+        Items read from the datastore (excludes read-your-own-write reads,
+        which never touch the store).
+    writes:
+        Ordered ``(item, value)`` pairs; order matters when a transaction
+        writes the same item twice (last write wins at apply time).
+    read_position:
+        The log position all datastore reads were served at (property A2).
+    origin:
+        Name of the client node that executed the transaction; its
+        datacenter determines the leader for the following log position.
+    read_snapshot:
+        The ``(item, value)`` pairs actually observed by the datastore reads.
+        The protocols never consult this; it rides along so the offline
+        one-copy-serializability checker can replay the log and verify that
+        every committed transaction read exactly the state its serial
+        position implies (Definition 1).
+    """
+
+    tid: str
+    group: str
+    read_set: frozenset[Item]
+    writes: tuple[tuple[Item, Any], ...]
+    read_position: int
+    origin: str = ""
+    origin_dc: str = ""
+    read_snapshot: tuple[tuple[Item, Any], ...] = ()
+
+    @property
+    def write_set(self) -> frozenset[Item]:
+        """The set of items this transaction writes."""
+        return frozenset(item for item, _value in self.writes)
+
+    @property
+    def is_read_only(self) -> bool:
+        """Read-only transactions never enter the commit protocol."""
+        return not self.writes
+
+    def reads_from(self, other: "Transaction") -> bool:
+        """True if this transaction read an item *other* writes.
+
+        This is the interference predicate of §5: if true, ``self`` cannot be
+        serialized after ``other`` without re-reading.
+        """
+        return bool(self.read_set & other.write_set)
+
+    def write_image(self) -> dict[str, dict[str, Any]]:
+        """Writes grouped by row: ``{row_key: {attribute: value}}``."""
+        image: dict[str, dict[str, Any]] = {}
+        for (row, attribute), value in self.writes:
+            image.setdefault(row, {})[attribute] = value
+        return image
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.tid
+
+
+def is_serializable_sequence(transactions: Iterable[Transaction]) -> bool:
+    """Check the combination validity rule of §5.
+
+    An ordered transaction list may share one log position iff no transaction
+    reads an item written by any *preceding* transaction in the list (the
+    list is then one-copy equivalent to the serial history in list order).
+    """
+    seen_writes: set[Item] = set()
+    for txn in transactions:
+        if txn.read_set & seen_writes:
+            return False
+        seen_writes |= txn.write_set
+    return True
+
+
+def union_write_set(transactions: Iterable[Transaction]) -> frozenset[Item]:
+    """All items written by any transaction in *transactions*."""
+    items: set[Item] = set()
+    for txn in transactions:
+        items |= txn.write_set
+    return frozenset(items)
+
+
+@dataclass
+class TransactionOutcome:
+    """What the harness records about one transaction attempt.
+
+    ``promotions`` is the number of promotion rounds the transaction went
+    through before committing or aborting (0 = decided at its first commit
+    position); ``combined`` is true when it committed as a non-head member of
+    a combined log entry.
+    """
+
+    transaction: Transaction
+    status: TransactionStatus
+    abort_reason: AbortReason | None = None
+    begin_time: float = 0.0
+    end_time: float = 0.0
+    commit_position: int | None = None
+    promotions: int = 0
+    combined: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency (begin → decision) in simulated ms."""
+        return self.end_time - self.begin_time
+
+    @property
+    def committed(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED

@@ -1,0 +1,158 @@
+"""Unreliable unicast between nodes (UDP semantics).
+
+Messages are delivered after a model-drawn one-way delay, or silently lost:
+with Bernoulli probability ``loss_probability``, when either endpoint's
+datacenter is down, or when the link between the two datacenters is severed.
+There are no ordering or duplication guarantees — reordering arises naturally
+from jittered delays.
+
+The fault injector (:mod:`repro.failures`) manipulates the outage state; the
+network itself only consults it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import UnknownDatacenter
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.env import Environment
+
+
+@dataclass
+class NetworkStats:
+    """Counters the tests and benchmarks read after a run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_outage: int = 0
+    dropped_partition: int = 0
+    duplicated: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, msg_type: str) -> None:
+        self.sent += 1
+        self.by_type[msg_type] = self.by_type.get(msg_type, 0) + 1
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_loss + self.dropped_outage + self.dropped_partition
+
+
+class Network:
+    """The message fabric connecting every node in the deployment."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        topology: Topology,
+        latency: LatencyModel,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {loss_probability}")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError(
+                f"duplicate probability must be in [0, 1), got {duplicate_probability}"
+            )
+        self.env = env
+        self.topology = topology
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
+        self.stats = NetworkStats()
+        self._nodes: dict[str, Node] = {}
+        self._down_datacenters: set[str] = set()
+        self._severed_links: set[frozenset[str]] = set()
+        self._rng = env.rng.stream("net")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Attach a node; its name must be unique in this network."""
+        if node.name in self._nodes:
+            raise ValueError(f"node name {node.name!r} already registered")
+        self.topology.get(node.datacenter)  # validates the datacenter exists
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> "Node":
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownDatacenter(f"no node named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Failure control (driven by repro.failures)
+    # ------------------------------------------------------------------
+
+    def take_down(self, datacenter: str) -> None:
+        """Stop all delivery to and from *datacenter*."""
+        self.topology.get(datacenter)
+        self._down_datacenters.add(datacenter)
+
+    def bring_up(self, datacenter: str) -> None:
+        """Restore delivery for *datacenter*."""
+        self._down_datacenters.discard(datacenter)
+
+    def is_down(self, datacenter: str) -> bool:
+        return datacenter in self._down_datacenters
+
+    def sever(self, dc_a: str, dc_b: str) -> None:
+        """Cut the link between two datacenters (both directions)."""
+        self.topology.get(dc_a)
+        self.topology.get(dc_b)
+        self._severed_links.add(frozenset({dc_a, dc_b}))
+
+    def heal(self, dc_a: str, dc_b: str) -> None:
+        """Restore the link between two datacenters."""
+        self._severed_links.discard(frozenset({dc_a, dc_b}))
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Submit *msg* for (unreliable) delivery."""
+        self.stats.record_send(msg.type)
+        dst = self._nodes.get(msg.dst)
+        if dst is None:
+            raise UnknownDatacenter(f"message to unknown node {msg.dst!r}")
+        src = self._nodes.get(msg.src)
+        src_dc = src.datacenter if src is not None else msg.src
+        if src_dc in self._down_datacenters or dst.datacenter in self._down_datacenters:
+            self.stats.dropped_outage += 1
+            return
+        if frozenset({src_dc, dst.datacenter}) in self._severed_links:
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return
+        copies = 1
+        if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
+            # UDP may duplicate; the copy takes its own (re-drawn) path delay.
+            copies = 2
+            self.stats.duplicated += 1
+        for _copy in range(copies):
+            delay = self.latency.one_way_delay(src_dc, dst.datacenter, self._rng)
+            wakeup = self.env.timeout(delay)
+            wakeup.add_callback(lambda _e: self._deliver(msg, dst))
+
+    def _deliver(self, msg: Message, dst: "Node") -> None:
+        # Re-check outage state at delivery time: a datacenter that went down
+        # while the message was in flight does not receive it.
+        if dst.datacenter in self._down_datacenters or dst.down:
+            self.stats.dropped_outage += 1
+            return
+        self.stats.delivered += 1
+        dst.deliver(msg)

@@ -1,0 +1,143 @@
+"""Catch-up: learning decided values for missed log positions (§4.1).
+
+"If a Transaction Service does not receive all Paxos messages for a log
+position, it may not know the value for that log position when it receives a
+read request.  If this happens, the Transaction Service executes a Paxos
+instance for the missing log entry to learn the winning value.  Similarly,
+when the Transaction Service recovers from a failure, it runs Paxos
+instances to learn the values of log entries for transactions that committed
+during its outage."
+
+:class:`Learner` implements that, cheapest path first:
+
+1. **LEARN round** — ask all replicas what they know.  Any replica that has
+   the decided value answers with it; failing that, a value accepted at the
+   same ballot by a majority is provably decided.
+2. **Full synod** — run prepare at a fresh ballot and, if any vote carries a
+   value, drive that value through accept/apply (re-proposing the
+   highest-ballot value is the standard Paxos recovery move and never
+   changes a decided outcome).  If every vote is null the position is
+   undecided and the learner reports ``None`` — there is nothing to recover.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Generator
+
+from repro.config import ProtocolConfig
+from repro.net.node import Node
+from repro.paxos import messages as m
+from repro.paxos.ballot import NULL_BALLOT, Ballot
+from repro.paxos.proposer import SynodProposer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wal.entry import LogEntry
+
+
+#: Learner instances must have globally unique proposer identities: two
+#: catch-up attempts for the same position may re-propose *different*
+#: recovered values, and Paxos forbids two values under one ballot.
+_learner_ids = count(1)
+
+
+class Learner:
+    """Learns (or completes) the decision for one group's log positions."""
+
+    def __init__(
+        self,
+        node: Node,
+        group: str,
+        services: list[str],
+        config: ProtocolConfig,
+    ) -> None:
+        self.node = node
+        self.group = group
+        self.services = list(services)
+        self.config = config
+        self.majority = len(self.services) // 2 + 1
+        self._round = 0
+        self._identity = f"learner:{node.name}:{next(_learner_ids)}"
+
+    def _fresh_ballot(self, floor: Ballot | None = None) -> Ballot:
+        self._round += 1
+        round_number = self._round
+        if floor is not None:
+            round_number = max(round_number, floor.round + 1)
+            self._round = round_number
+        return Ballot(round_number, self._identity)
+
+    # ------------------------------------------------------------------
+    # Step 1: passive learning
+    # ------------------------------------------------------------------
+
+    def learn(self, position: int) -> Generator:
+        """Ask replicas; returns the decided :class:`LogEntry` or ``None``."""
+        payload = m.LearnPayload(self.group, position)
+
+        def enough(responses) -> bool:
+            return any(r.payload.chosen is not None for r in responses)
+
+        gather = self.node.request_many(
+            self.services, m.LEARN, payload,
+            enough=enough,
+            timeout_ms=self.config.timeout_ms,
+            grace_ms=0.0,
+        )
+        responses = yield gather
+        votes: dict[tuple[Ballot, tuple[str, ...]], int] = {}
+        candidates: dict[tuple[Ballot, tuple[str, ...]], "LogEntry"] = {}
+        for envelope in responses:
+            reply: m.LearnReply = envelope.payload
+            if reply.chosen is not None:
+                return reply.chosen
+            if reply.last_value is not None and reply.last_ballot != NULL_BALLOT:
+                key = (reply.last_ballot, reply.last_value.tids)
+                votes[key] = votes.get(key, 0) + 1
+                candidates[key] = reply.last_value
+        for key, count in votes.items():
+            if count >= self.majority:
+                return candidates[key]
+        return None
+
+    # ------------------------------------------------------------------
+    # Step 2: active recovery
+    # ------------------------------------------------------------------
+
+    def learn_or_decide(self, position: int, max_attempts: int = 8) -> Generator:
+        """Learn the decision, completing the instance if necessary.
+
+        Returns the decided entry, or ``None`` when the position is provably
+        still undecided (no acceptor has voted for anything) or recovery
+        kept losing races for *max_attempts* rounds.
+        """
+        entry = yield from self.learn(position)
+        if entry is not None:
+            return entry
+        proposer = SynodProposer(
+            self.node, self.group, position, self.services, self.config
+        )
+        ballot = self._fresh_ballot()
+        rng = self.node.env.rng.stream(f"learner.{self.node.name}")
+        for _attempt in range(max_attempts):
+            outcome = yield from proposer.prepare(ballot)
+            if outcome.chosen is not None:
+                return outcome.chosen
+            if outcome.successes < self.majority:
+                yield self.node.env.timeout(rng.uniform(0, self.config.retry_backoff_ms))
+                ballot = self._fresh_ballot(outcome.max_promised)
+                continue
+            # Highest-ballot vote among the LAST VOTEs, if any.
+            best_ballot, best_value = NULL_BALLOT, None
+            for _src, reply in outcome.replies:
+                if reply.last_value is not None and reply.last_ballot > best_ballot:
+                    best_ballot, best_value = reply.last_ballot, reply.last_value
+            if best_value is None:
+                return None  # provably undecided; nothing to recover
+            accept = yield from proposer.accept(ballot, best_value)
+            if accept.successes >= self.majority:
+                proposer.apply(ballot, best_value)
+                return best_value
+            yield self.node.env.timeout(rng.uniform(0, self.config.retry_backoff_ms))
+            ballot = self._fresh_ballot(accept.max_promised)
+        return None

@@ -1,0 +1,74 @@
+"""Deciding one-copy serializability.
+
+Two procedures:
+
+* :func:`is_one_copy_serializable` — the polynomial MVSG acyclicity test for
+  the history's given version order.  Sound (acyclic ⇒ 1SR).  For version
+  orders induced by our write-ahead log it is the test Theorems 2 and 3
+  appeal to.
+* :func:`brute_force_one_copy_serializable` — the exact decision procedure
+  straight from Definition 1: search for *any* serial order of the committed
+  transactions whose single-copy execution produces the same reads-from
+  relation.  Exponential; used in tests to cross-validate the MVSG test on
+  small randomized histories.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.serializability.graph import build_mvsg, find_cycle, serial_order_from_graph
+from repro.serializability.history import MVHistory, serial_reads_from
+
+
+def is_one_copy_serializable(history: MVHistory) -> tuple[bool, list[str] | None]:
+    """MVSG test for the history's version order.
+
+    Returns ``(True, None)`` when the MVSG is acyclic, otherwise ``(False,
+    cycle)`` with one offending cycle (transaction ids; ``"⊥"`` denotes the
+    initial transaction).
+    """
+    history.validate()
+    graph = build_mvsg(history)
+    cycle = find_cycle(graph)
+    if cycle is None:
+        return True, None
+    return False, cycle
+
+
+def equivalent_serial_order(history: MVHistory) -> list[str]:
+    """An equivalent serial order (Definition 1's witness), via the MVSG.
+
+    Raises ``ValueError`` if the history fails the MVSG test.
+    """
+    history.validate()
+    graph = build_mvsg(history)
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        raise ValueError(f"history is not one-copy serializable; MVSG cycle: {cycle}")
+    return serial_order_from_graph(graph)
+
+
+def brute_force_one_copy_serializable(
+    history: MVHistory, max_transactions: int = 8
+) -> bool:
+    """Exact Definition-1 check by exhaustive search over serial orders.
+
+    A history is 1SR iff some permutation of its transactions, executed
+    serially against a single-copy store, yields the same reads-from
+    relation for every transaction.  Guarded by *max_transactions* because
+    the search is factorial.
+    """
+    history.validate()
+    txns = list(history.transactions.values())
+    if len(txns) > max_transactions:
+        raise ValueError(
+            f"history has {len(txns)} transactions; brute force capped at "
+            f"{max_transactions} (raise max_transactions deliberately if you must)"
+        )
+    target = {txn.tid: txn.reads_map() for txn in txns}
+    for order in permutations(txns):
+        candidate = serial_reads_from(order)
+        if candidate == target:
+            return True
+    return False

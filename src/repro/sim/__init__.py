@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the multi-datacenter system runs.  The
+paper evaluated its prototype on Amazon EC2; offline we replace wall-clock
+distributed execution with a discrete-event simulation whose clock advances in
+(simulated) milliseconds.  All protocol code is written as generator-based
+coroutines ("processes") so it reads like the paper's pseudocode — a process
+``yield``\\ s waitable events (timeouts, message arrivals, quorum conditions)
+and resumes when they fire.
+
+Design goals:
+
+* **Determinism** — given a seed, a run is exactly reproducible.  The event
+  queue breaks time ties with a monotone sequence number and all randomness
+  flows from named, seeded streams (:class:`~repro.sim.rng.RngRegistry`).
+* **Small surface** — only the primitives the transaction tier needs:
+  :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf`,
+  :class:`Process`, and the :class:`Environment` facade.
+* **No threads** — concurrency is cooperative; there are no data races, which
+  lets tests assert exact interleavings.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.env import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "RngRegistry",
+    "Simulator",
+    "Timeout",
+]

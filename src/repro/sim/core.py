@@ -1,0 +1,105 @@
+"""The event queue at the heart of the simulation.
+
+:class:`Simulator` owns the virtual clock and a priority queue of scheduled
+events.  Everything else — timeouts, message deliveries, process resumptions —
+is expressed as an :class:`~repro.sim.events.Event` pushed onto this queue.
+
+Events scheduled for the same instant are processed in scheduling order
+(FIFO), enforced with a monotone sequence number, which makes runs
+deterministic regardless of hash seeds or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationFinished
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.events import Event
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    The simulator is intentionally dumb: it pops the next ``(time, seq,
+    event)`` triple and asks the event to run its callbacks.  All protocol
+    semantics live in the events and processes scheduled onto it.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._processed_events = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (for diagnostics)."""
+        return self._processed_events
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule *event* to be processed ``delay`` ms from now.
+
+        A negative delay is a programming error; the kernel refuses it rather
+        than silently reordering the past.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises :class:`SimulationFinished` if the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationFinished("event queue is empty")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self._processed_events += 1
+        event._process()
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains or the clock passes *until*.
+
+        When *until* is given, the clock is advanced to exactly *until* even
+        if the queue drains earlier, so back-to-back ``run`` calls observe a
+        monotone clock.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self._now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now={self._now}"
+            )
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = until

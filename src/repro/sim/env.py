@@ -1,0 +1,62 @@
+"""The :class:`Environment` facade tying the kernel pieces together.
+
+An ``Environment`` owns one :class:`~repro.sim.core.Simulator`, one
+:class:`~repro.sim.rng.RngRegistry`, and provides the factory methods
+processes use: :meth:`timeout`, :meth:`event`, :meth:`process`,
+:meth:`any_of`, :meth:`all_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class Environment:
+    """One simulated world: a clock, an event queue, and seeded randomness."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.sim.now
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation (see :meth:`Simulator.run`)."""
+        self.sim.run(until)
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ms from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Spawn a process driving *generator*; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Fires when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Fires when all of *events* have fired."""
+        return AllOf(self, events)

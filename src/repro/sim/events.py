@@ -1,0 +1,192 @@
+"""Waitable events for the simulation kernel.
+
+An :class:`Event` is the unit of synchronization: processes ``yield`` events
+and resume when the event *fires* (succeeds or fails).  Composite conditions
+(:class:`AnyOf`, :class:`AllOf`) let protocol code express "wait for a quorum
+of replies or a timeout, whichever comes first" without threads.
+
+Lifecycle::
+
+    pending --succeed(value)/fail(exc)--> triggered --queue pop--> processed
+
+Callbacks registered on a pending or triggered event run when the event is
+processed; callbacks added after processing run immediately (scheduled at the
+current instant), so late waiters never deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.env import Environment
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (succeeded or failed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise RuntimeError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the failure exception)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.sim.schedule(self)
+        self._scheduled = True
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiters see the exception raised."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.sim.schedule(self)
+        self._scheduled = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def add_callback(self, callback: Callable[[Event], None]) -> None:
+        """Register *callback* to run when the event is processed.
+
+        If the event was already processed the callback is invoked via a
+        zero-delay relay event so that execution order stays queue-driven.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+            return
+        relay = Event(self.env)
+        relay.callbacks.append(lambda _e: callback(self))
+        relay._ok = True
+        relay._value = None
+        self.env.sim.schedule(relay)
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator when popped."""
+        if self.callbacks is None:
+            return
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ms after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.sim.schedule(self, delay)
+        self._scheduled = True
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events fire automatically")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events fire automatically")
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events.
+
+    The condition evaluates after any child fires; when the predicate holds
+    the condition succeeds with a dict mapping each *fired* child event to its
+    value.  If any child fails before the predicate holds, the condition
+    fails with that child's exception.
+    """
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._fired: dict[Event, Any] = {}
+        if not self.events:
+            # An empty condition is vacuously satisfied.
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+            event.add_callback(self._on_child)
+
+    def _predicate(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._fired[event] = event.value
+        if self._predicate():
+            self.succeed(dict(self._fired))
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as any child event succeeds."""
+
+    def _predicate(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(Condition):
+    """Succeeds when all child events have succeeded."""
+
+    def _predicate(self) -> bool:
+        return len(self._fired) == len(self.events)

@@ -1,0 +1,125 @@
+"""Generator-based processes.
+
+A process wraps a generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the event fires; the event's
+value is sent back into the generator (or its exception thrown in).  The
+process object is itself an event that fires when the generator returns, so
+processes can wait on other processes.
+
+Example::
+
+    def client(env, network):
+        yield env.timeout(5.0)            # think time
+        reply = yield network.request(...)  # resumes with the reply
+        return reply                        # fires the process event
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import InvalidYield, ProcessKilled
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.env import Environment
+
+
+class Process(Event):
+    """Drives a generator, resuming it each time a yielded event fires."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process with a zero-delay bootstrap event so that
+        # process creation is cheap and ordering stays queue-driven.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env.sim.schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it.
+
+        Used by the fault injector to model a client or service crashing in
+        the middle of a protocol (e.g. a Transaction Client dying between the
+        accept and apply phases, per §4.1 "Fault Tolerance and Recovery").
+        """
+        if self.triggered:
+            return
+        # Detach from whatever we were waiting on so the resume callback
+        # does not fire into a dead generator (stale wakeups are dropped in
+        # _resume by comparing against _waiting_on, which we clear here).
+        self._waiting_on = None
+        self._step(ProcessKilled(reason), throw=True)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # killed while the wakeup was in flight
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we abandoned via kill()
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            # A kill that the generator chose not to handle is a normal
+            # termination, not a simulation failure.
+            self.succeed(exc)
+            return
+        except BaseException as exc:
+            if self.callbacks:
+                # Someone is waiting on this process: deliver the failure to
+                # them (it will be thrown into their generator).
+                self.fail(exc)
+                return
+            # Nobody is watching — crash the simulation loudly rather than
+            # swallow the error.  exc escapes through sim.step()/env.run().
+            self._value = exc
+            self._ok = False
+            self.callbacks = None
+            raise
+        if not isinstance(target, Event):
+            error = InvalidYield(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (timeout(), requests, other processes)"
+            )
+            self._generator.close()
+            if self.callbacks:
+                self.fail(error)
+                return
+            self._value = error
+            self._ok = False
+            self.callbacks = None
+            raise error
+        self._waiting_on = target
+        target.add_callback(self._resume)

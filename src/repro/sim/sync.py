@@ -1,0 +1,62 @@
+"""Cooperative synchronization primitives.
+
+Only what the transaction tier needs: a FIFO :class:`Lock` that serializes
+log application within one Transaction Service (a read-serving process and a
+background applier must not interleave writes to the same data rows).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.env import Environment
+
+
+class Lock:
+    """A FIFO mutex for simulation processes.
+
+    Usage::
+
+        yield lock.acquire()
+        try:
+            ...critical section (may yield)...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._locked = False
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        """An event that fires when the caller holds the lock."""
+        event = Event(self.env)
+        if not self._locked:
+            self._locked = True
+            event._ok = True
+            event._value = None
+            self.env.sim.schedule(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, waking the next waiter (FIFO)."""
+        if not self._locked:
+            raise RuntimeError("release of an unlocked Lock")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter._ok = True
+            waiter._value = None
+            self.env.sim.schedule(waiter)
+        else:
+            self._locked = False

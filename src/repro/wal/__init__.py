@@ -1,0 +1,44 @@
+"""The replicated write-ahead log (§3.2).
+
+Each transaction group has one log, replicated at every datacenter.  A log
+*position* is decided by one Paxos instance; the decided value is a
+:class:`~repro.wal.entry.LogEntry` — under basic Paxos a single transaction,
+under Paxos-CP an ordered list of non-conflicting transactions (the
+combination enhancement).
+
+Following Algorithm 1 literally, the log is **stored in the key-value
+store**: the Paxos state row for position *P* doubles as the log cell, and
+the APPLY step writes the chosen value into it.  :class:`~repro.wal.log.LogReplica`
+is the per-datacenter view over those rows plus the machinery that applies
+committed writes to the data rows ("these write operations may be performed
+later by a background process or as needed to serve a read request", §3.2).
+
+:mod:`repro.wal.invariants` provides executable checkers for the paper's
+correctness obligations (L1)–(L3) and (R1); the test-suite runs them after
+every integration scenario.
+"""
+
+from repro.wal.entry import LogEntry
+from repro.wal.invariants import (
+    InvariantViolation,
+    check_l1_only_committed,
+    check_l2_single_position,
+    check_l3_prefix_serializable,
+    check_r1_replica_agreement,
+    check_read_only_consistency,
+    run_all_checks,
+)
+from repro.wal.log import LogReplica, paxos_row_key
+
+__all__ = [
+    "InvariantViolation",
+    "LogEntry",
+    "LogReplica",
+    "check_l1_only_committed",
+    "check_l2_single_position",
+    "check_l3_prefix_serializable",
+    "check_r1_replica_agreement",
+    "check_read_only_consistency",
+    "paxos_row_key",
+    "run_all_checks",
+]

@@ -1,0 +1,88 @@
+"""Log entries: the values Paxos decides.
+
+Under basic Paxos a log entry carries exactly one transaction.  Paxos-CP's
+combination enhancement generalizes the value to an *ordered list* of
+transactions that is itself a one-copy-serializable history (no member reads
+an item a preceding member wrote) — see §5 and
+:func:`repro.model.is_serializable_sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.model import Transaction, is_serializable_sequence
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """The value decided for one log position.
+
+    Entries compare by content (frozen dataclass equality), which is what
+    the replication invariant (R1) checks across replicas.
+    """
+
+    transactions: tuple[Transaction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.transactions:
+            raise ValueError("a log entry must contain at least one transaction")
+
+    @classmethod
+    def single(cls, transaction: Transaction) -> "LogEntry":
+        """The basic-Paxos entry: one transaction."""
+        return cls(transactions=(transaction,))
+
+    @classmethod
+    def combined(cls, transactions: Iterable[Transaction]) -> "LogEntry":
+        """A combination entry; validates the §5 list rule."""
+        txns = tuple(transactions)
+        if not is_serializable_sequence(txns):
+            raise ValueError(
+                "combined entry is not one-copy serializable: a member reads "
+                "an item written by a preceding member"
+            )
+        return cls(transactions=txns)
+
+    @property
+    def tids(self) -> tuple[str, ...]:
+        """Transaction ids in entry order."""
+        return tuple(txn.tid for txn in self.transactions)
+
+    def contains(self, tid: str) -> bool:
+        """True if the transaction with this id is part of the entry.
+
+        This is the client's post-apply commit test: "The Transaction Client
+        then checks whether the winning value is its own transaction" (§4.1),
+        generalized by CP to membership in the winning list.
+        """
+        return any(txn.tid == tid for txn in self.transactions)
+
+    def write_image(self) -> dict[str, dict[str, Any]]:
+        """All writes of the entry merged in list order, grouped by row.
+
+        Later transactions in the list overwrite earlier ones on the same
+        item, which is exactly the serial semantics of the list order.
+        """
+        image: dict[str, dict[str, Any]] = {}
+        for txn in self.transactions:
+            for row, attrs in txn.write_image().items():
+                image.setdefault(row, {}).update(attrs)
+        return image
+
+    def union_write_set(self):
+        """Items written by any member (used by the promotion conflict test)."""
+        items = set()
+        for txn in self.transactions:
+            items |= txn.write_set
+        return frozenset(items)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "+".join(self.tids)

@@ -1,0 +1,232 @@
+"""Executable checkers for the paper's correctness obligations.
+
+§3.2 requires of any correct implementation:
+
+* **(L1)** the log only contains operations from committed transactions;
+* **(L2)** a committed read/write transaction occupies exactly one position;
+* **(L3)** every log prefix is a one-copy serializable history;
+* **(R1)** no two replicas disagree on the value of a log position.
+
+These functions turn each obligation into a check over the state left behind
+by a run: the per-datacenter :class:`~repro.wal.log.LogReplica` views and the
+:class:`~repro.model.TransactionOutcome` records collected by the harness.
+The integration test-suite runs :func:`run_all_checks` after every scenario,
+and the hypothesis-driven property tests run it over randomized workloads and
+failure schedules.
+
+The (L3) check is the strongest available: it *replays* the global log from
+the initial data image and verifies that every committed transaction observed
+exactly the item values its serial position implies (via the
+``read_snapshot`` that rides along in :class:`~repro.model.Transaction`).
+This is Definition 1 specialized to the log order, covering both CP
+enhancements (combined entries are replayed member-by-member in list order;
+promoted transactions must still have read the pre-state of their final
+position).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model import Item, TransactionOutcome, TransactionStatus
+from repro.wal.log import LogReplica
+
+
+class InvariantViolation(AssertionError):
+    """One or more correctness obligations failed; message lists them all."""
+
+    def __init__(self, violations: list[str]) -> None:
+        super().__init__("\n".join(violations))
+        self.violations = violations
+
+
+def global_log(replicas: list[LogReplica]) -> dict[int, Any]:
+    """Union of all replicas' chosen entries, keyed by position.
+
+    Assumes (R1) holds; call :func:`check_r1_replica_agreement` first if in
+    doubt.  When replicas disagree the lowest-named store's value wins, which
+    keeps the remaining checks deterministic while R1's own report carries
+    the real failure.
+    """
+    merged: dict[int, Any] = {}
+    for replica in sorted(replicas, key=lambda r: r.store.name, reverse=True):
+        merged.update(replica.entries())
+    return merged
+
+
+def check_r1_replica_agreement(replicas: list[LogReplica]) -> list[str]:
+    """(R1): no two logs have different values for the same position."""
+    violations: list[str] = []
+    seen: dict[int, tuple[str, Any]] = {}
+    for replica in replicas:
+        for position, entry in replica.entries().items():
+            if position in seen:
+                other_store, other_entry = seen[position]
+                if other_entry != entry:
+                    violations.append(
+                        f"(R1) position {position}: {replica.store.name} has "
+                        f"{entry} but {other_store} has {other_entry}"
+                    )
+            else:
+                seen[position] = (replica.store.name, entry)
+    return violations
+
+
+def check_l1_only_committed(
+    replicas: list[LogReplica], outcomes: list[TransactionOutcome]
+) -> list[str]:
+    """(L1) plus durability, phrased over observable outcomes.
+
+    * every committed *read/write* transaction appears in the log
+      (read-only transactions are never logged: "Read-only transactions are
+      not recorded in the log", §3.2);
+    * no transaction reported aborted appears in the log.
+
+    Transactions with no recorded outcome (client crashed mid-protocol) are
+    unconstrained — the paper allows either result in that case (§4.1).
+    """
+    violations: list[str] = []
+    log = global_log(replicas)
+    logged_tids = {
+        txn.tid for entry in log.values() for txn in entry.transactions
+    }
+    for outcome in outcomes:
+        tid = outcome.transaction.tid
+        if (
+            outcome.status is TransactionStatus.COMMITTED
+            and not outcome.transaction.is_read_only
+            and tid not in logged_tids
+        ):
+            violations.append(f"(L1/durability) {tid} reported committed but absent from the log")
+        if outcome.status is TransactionStatus.ABORTED and tid in logged_tids:
+            violations.append(f"(L1) {tid} reported aborted but present in the log")
+    return violations
+
+
+def check_read_only_consistency(
+    replicas: list[LogReplica],
+    outcomes: list[TransactionOutcome],
+    initial_image: Mapping[Item, Any] | None = None,
+) -> list[str]:
+    """Read-only transactions read a consistent snapshot (Theorem 1).
+
+    Theorem 1 serializes each committed read-only transaction immediately
+    after the last transaction written at its read position, so its observed
+    values must equal the one-copy state after replaying the log through
+    that position.
+    """
+    violations: list[str] = []
+    log = global_log(replicas)
+    # Precompute the state after each position once.
+    states: dict[int, dict[Item, Any]] = {0: dict(initial_image or {})}
+    state = dict(states[0])
+    for position in sorted(log):
+        for txn in log[position].transactions:
+            for item, value in txn.writes:
+                state[item] = value
+        states[position] = dict(state)
+    max_known = max(states)
+    for outcome in outcomes:
+        txn = outcome.transaction
+        if not (outcome.status is TransactionStatus.COMMITTED and txn.is_read_only):
+            continue
+        if txn.read_position > max_known:
+            violations.append(
+                f"(RO) {txn.tid} read at position {txn.read_position}, beyond "
+                f"the known log (max {max_known})"
+            )
+            continue
+        # read_position may fall in a gap only if the log has gaps, which
+        # (L3) reports separately; fall back to the nearest earlier state.
+        reference = txn.read_position
+        while reference not in states:
+            reference -= 1
+        snapshot_state = states[reference]
+        for item, recorded_value in txn.read_snapshot:
+            expected = snapshot_state.get(item)
+            if expected != recorded_value:
+                violations.append(
+                    f"(RO) {txn.tid} at read position {txn.read_position} read "
+                    f"{item}={recorded_value!r} but the one-copy state there "
+                    f"is {expected!r}"
+                )
+    return violations
+
+
+def check_l2_single_position(replicas: list[LogReplica]) -> list[str]:
+    """(L2): each transaction occupies exactly one log position."""
+    violations: list[str] = []
+    log = global_log(replicas)
+    first_seen: dict[str, int] = {}
+    for position in sorted(log):
+        for txn in log[position].transactions:
+            if txn.tid in first_seen and first_seen[txn.tid] != position:
+                violations.append(
+                    f"(L2) {txn.tid} appears at positions {first_seen[txn.tid]} and {position}"
+                )
+            first_seen.setdefault(txn.tid, position)
+    return violations
+
+
+def check_l3_prefix_serializable(
+    replicas: list[LogReplica],
+    initial_image: Mapping[Item, Any] | None = None,
+) -> list[str]:
+    """(L3): replay the log and verify every recorded read.
+
+    For each committed transaction *t* at position *p*: for every item *t*
+    read, the value recorded in its ``read_snapshot`` must equal the item's
+    state after replaying positions ``1..p-1`` plus any members preceding
+    *t* in *p*'s own entry (the combination rule guarantees those members
+    never wrote *t*'s read items, so this reduces to the state at ``p-1``,
+    but replaying in member order also validates that rule).
+    """
+    violations: list[str] = []
+    state: dict[Item, Any] = dict(initial_image or {})
+    log = global_log(replicas)
+    positions = sorted(log)
+    # Verify contiguity: a chosen position with an unchosen predecessor means
+    # catch-up was not run to completion before checking.
+    expected = 1
+    for position in positions:
+        if position != expected:
+            violations.append(
+                f"(L3) log has a gap: expected position {expected}, found {position}"
+            )
+            break
+        expected += 1
+    for position in positions:
+        for txn in log[position].transactions:
+            if txn.read_position >= position:
+                violations.append(
+                    f"(L3) {txn.tid} at position {position} has read_position "
+                    f"{txn.read_position} >= its commit position"
+                )
+            for item, recorded_value in txn.read_snapshot:
+                current = state.get(item)
+                if current != recorded_value:
+                    violations.append(
+                        f"(L3) {txn.tid} at position {position} read "
+                        f"{item}={recorded_value!r} but the one-copy state "
+                        f"there is {current!r}"
+                    )
+            for item, value in txn.writes:
+                state[item] = value
+    return violations
+
+
+def run_all_checks(
+    replicas: list[LogReplica],
+    outcomes: list[TransactionOutcome],
+    initial_image: Mapping[Item, Any] | None = None,
+) -> None:
+    """Run every checker; raise :class:`InvariantViolation` on any failure."""
+    violations = (
+        check_r1_replica_agreement(replicas)
+        + check_l1_only_committed(replicas, outcomes)
+        + check_l2_single_position(replicas)
+        + check_l3_prefix_serializable(replicas, initial_image)
+        + check_read_only_consistency(replicas, outcomes, initial_image)
+    )
+    if violations:
+        raise InvariantViolation(violations)

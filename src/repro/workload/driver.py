@@ -1,0 +1,184 @@
+"""Client-thread drivers.
+
+"The workload is performed by four concurrent threads with staggered
+starts, with a target of one transaction per second." (§6)  Each thread is
+one application instance — its own :class:`TransactionClient` — running a
+closed loop capped at the target rate: execute a transaction, then wait
+until the next arrival slot (a thread that falls behind, e.g. because a
+commit took longer than the period, starts its next transaction
+immediately; YCSB throttles the same way).
+
+"We also examine concurrency effects in an experiment where each replica
+has its own YCSB instance" (§6, Figure 8): :meth:`WorkloadDriver.per_datacenter`
+builds one instance per datacenter over a shared entity group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.config import ProtocolName, WorkloadConfig
+from repro.errors import TransactionError
+from repro.model import (
+    AbortReason,
+    Transaction,
+    TransactionOutcome,
+    TransactionStatus,
+)
+from repro.workload.ycsb import Operation, YcsbWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.core.client import TransactionClient
+
+
+@dataclass
+class InstanceResult:
+    """Everything one workload instance produced."""
+
+    datacenter: str
+    outcomes: list[TransactionOutcome] = field(default_factory=list)
+
+    @property
+    def commits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.committed)
+
+    @property
+    def aborts(self) -> int:
+        return len(self.outcomes) - self.commits
+
+
+class WorkloadDriver:
+    """Runs one YCSB-style instance against a cluster."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        workload: WorkloadConfig,
+        protocol: ProtocolName,
+        datacenter: str | None = None,
+        instance_id: str = "ycsb0",
+    ) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.protocol = protocol
+        self.datacenter = datacenter or cluster.topology.names[0]
+        self.instance_id = instance_id
+        self.result = InstanceResult(datacenter=self.datacenter)
+        self._generator = YcsbWorkload(
+            workload,
+            cluster.env.rng.stream(f"workload.{instance_id}"),
+        )
+        self._processes = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def install_data(self) -> None:
+        """Preload the entity group's rows in every datacenter."""
+        self.cluster.preload(self.workload.group, self._generator.initial_rows())
+
+    def start(self) -> None:
+        """Spawn the client threads; call before ``cluster.run()``."""
+        share = self.workload.n_transactions // self.workload.n_threads
+        remainder = self.workload.n_transactions % self.workload.n_threads
+        for index in range(self.workload.n_threads):
+            budget = share + (1 if index < remainder else 0)
+            if budget == 0:
+                continue
+            client = self.cluster.add_client(
+                self.datacenter,
+                protocol=self.protocol,
+                name=f"cli:{self.datacenter}:{self.instance_id}:{index}",
+            )
+            process = self.cluster.env.process(
+                self._thread(client, index, budget),
+                name=f"{self.instance_id}:thread{index}",
+            )
+            self._processes.append(process)
+
+    @property
+    def done(self) -> bool:
+        return all(not process.is_alive for process in self._processes)
+
+    # ------------------------------------------------------------------
+    # The client loop
+    # ------------------------------------------------------------------
+
+    def _thread(self, client: "TransactionClient", index: int, budget: int) -> Generator:
+        env = self.cluster.env
+        rng = env.rng.stream(f"driver.{self.instance_id}.{index}")
+        yield env.timeout(index * self.workload.stagger_ms)
+        for _k in range(budget):
+            slot_start = env.now
+            ops = self._generator.next_transaction()
+            outcome = yield from self._run_transaction(client, ops)
+            self.result.outcomes.append(outcome)
+            # Rate cap: next arrival one (jittered) period after this slot
+            # began; skip the wait entirely if we are already late.
+            period = self.workload.mean_interarrival_ms
+            next_slot = slot_start + rng.uniform(0.8 * period, 1.2 * period)
+            if env.now < next_slot:
+                yield env.timeout(next_slot - env.now)
+
+    def _run_transaction(
+        self, client: "TransactionClient", ops: list[Operation]
+    ) -> Generator:
+        """Execute one transaction end to end; never raises."""
+        env = self.cluster.env
+        begin_time = env.now
+        sequence = 0
+        try:
+            handle = yield from client.begin(self.workload.group)
+            for op in ops:
+                if op.kind == "read":
+                    yield from client.read(handle, op.row, op.attribute)
+                else:
+                    sequence += 1
+                    value = f"{client.node.name}@{env.now:.3f}:{sequence}"
+                    client.write(handle, op.row, op.attribute, value)
+            outcome = yield from client.commit(handle)
+            return outcome
+        except TransactionError:
+            placeholder = Transaction(
+                tid=f"{client.node.name}#unavailable@{env.now:.3f}",
+                group=self.workload.group,
+                read_set=frozenset(),
+                writes=(),
+                read_position=-1,
+                origin=client.node.name,
+                origin_dc=client.datacenter,
+            )
+            return TransactionOutcome(
+                transaction=placeholder,
+                status=TransactionStatus.ABORTED,
+                abort_reason=AbortReason.SERVICE_UNAVAILABLE,
+                begin_time=begin_time,
+                end_time=env.now,
+            )
+
+    # ------------------------------------------------------------------
+    # Multi-instance construction (Figure 8)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def per_datacenter(
+        cls,
+        cluster: "Cluster",
+        workload: WorkloadConfig,
+        protocol: ProtocolName,
+    ) -> list["WorkloadDriver"]:
+        """One instance in every datacenter, sharing the entity group.
+
+        The first driver owns the data preload; start them all, then run the
+        cluster to completion.
+        """
+        drivers = []
+        for index, dc in enumerate(cluster.topology.names):
+            drivers.append(cls(
+                cluster, workload, protocol,
+                datacenter=dc, instance_id=f"ycsb{index}",
+            ))
+        return drivers

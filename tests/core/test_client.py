@@ -1,0 +1,263 @@
+"""Tests for the Transaction Client API (§2.2, §4 steps 1–4)."""
+
+import pytest
+
+from repro.errors import ServiceUnavailable, TransactionStateError
+from repro.model import TransactionStatus
+from tests.conftest import make_cluster, run_txn
+
+
+GROUP = "g"
+
+
+def preloaded_cluster(**kwargs):
+    cluster = make_cluster(**kwargs)
+    cluster.preload(GROUP, {"row0": {"a": "init-a", "b": "init-b"}})
+    return cluster
+
+
+class TestBegin:
+    def test_begin_pins_read_position_zero_on_empty_log(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            return handle
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value.read_position == 0
+        assert process.value.leader_dc == "V1"  # home DC leads position 1
+
+    def test_begin_sees_committed_position(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        run_txn(cluster, client, GROUP, writes=[("row0", "a", "x")])
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            return handle.read_position
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == 1
+
+    def test_begin_fails_over_to_remote_service(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1", protocol="paxos-cp")
+        cluster.network.take_down("V1")
+        # The client itself must stay reachable: only the service is down.
+        # Taking down the DC kills the client too, so instead mark the
+        # service node down.
+        cluster.network.bring_up("V1")
+        cluster.services["V1"].node.down = True
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            return handle.read_position
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == 0
+        # Failover cost the 2 s timeout against the local service.
+        assert cluster.env.now >= 2000.0
+
+    def test_begin_with_all_services_down_raises(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        for dc in cluster.topology.names:
+            cluster.services[dc].node.down = True
+
+        def proc():
+            try:
+                yield from client.begin(GROUP)
+            except ServiceUnavailable:
+                return "unavailable"
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == "unavailable"
+
+
+class TestRead:
+    def test_read_returns_initial_data(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            value = yield from client.read(handle, "row0", "a")
+            return value, handle.read_set, handle.read_snapshot
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        value, read_set, snapshot = process.value
+        assert value == "init-a"
+        assert read_set == {("row0", "a")}
+        assert snapshot == [(("row0", "a"), "init-a")]
+
+    def test_read_your_own_write_a1(self):
+        """(A1): a read after a write in the same txn returns the write."""
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            client.write(handle, "row0", "a", "mine")
+            value = yield from client.read(handle, "row0", "a")
+            return value, handle.read_set
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        value, read_set = process.value
+        assert value == "mine"
+        assert read_set == set()  # buffered reads never touch the store
+
+    def test_reads_pinned_to_begin_position_a2(self):
+        """(A2): reads ignore commits that land after begin."""
+        cluster = preloaded_cluster()
+        reader = cluster.add_client("V1")
+        writer = cluster.add_client("V2")
+        observed = {}
+
+        def reader_proc():
+            handle = yield from reader.begin(GROUP)
+            first = yield from reader.read(handle, "row0", "a")
+            # Let the writer commit while this transaction is open.
+            yield cluster.env.timeout(5000.0)
+            second = yield from reader.read(handle, "row0", "b")
+            observed["a"] = first
+            observed["b"] = second
+            outcome = yield from reader.commit(handle)
+            return outcome
+
+        def writer_proc():
+            yield cluster.env.timeout(100.0)
+            handle = yield from writer.begin(GROUP)
+            writer.write(handle, "row0", "a", "new-a")
+            writer.write(handle, "row0", "b", "new-b")
+            outcome = yield from writer.commit(handle)
+            assert outcome.committed
+            return outcome
+
+        cluster.env.process(reader_proc())
+        cluster.env.process(writer_proc())
+        cluster.run()
+        assert observed == {"a": "init-a", "b": "init-b"}
+
+    def test_repeated_read_cached(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            first = yield from client.read(handle, "row0", "a")
+            second = yield from client.read(handle, "row0", "a")
+            return first, second, len(handle.read_snapshot)
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        first, second, snapshot_length = process.value
+        assert first == second == "init-a"
+        assert snapshot_length == 1
+
+    def test_read_missing_attribute_is_none(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            value = yield from client.read(handle, "row0", "never-written")
+            return value
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value is None
+
+
+class TestCommit:
+    def test_read_only_commits_locally_and_instantly(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            yield from client.read(handle, "row0", "a")
+            before = cluster.env.now
+            outcome = yield from client.commit(handle)
+            return outcome, cluster.env.now - before
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        outcome, commit_duration = process.value
+        assert outcome.status is TransactionStatus.COMMITTED
+        assert outcome.commit_position is None
+        assert commit_duration == 0.0  # §2.2: no communication needed
+
+    def test_write_transaction_commits_through_paxos(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        outcome = run_txn(cluster, client, GROUP,
+                          reads=[("row0", "a")],
+                          writes=[("row0", "b", "v1")])
+        assert outcome.committed
+        assert outcome.commit_position == 1
+        assert outcome.transaction.writes == ((("row0", "b"), "v1"),)
+
+    def test_writes_visible_to_next_transaction(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        run_txn(cluster, client, GROUP, writes=[("row0", "a", "updated")])
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            value = yield from client.read(handle, "row0", "a")
+            return value
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == "updated"
+
+    def test_handle_unusable_after_commit(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            client.write(handle, "row0", "a", 1)
+            yield from client.commit(handle)
+            try:
+                client.write(handle, "row0", "a", 2)
+            except TransactionStateError:
+                return "rejected"
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == "rejected"
+
+    def test_last_write_wins_within_transaction(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        run_txn(cluster, client, GROUP,
+                writes=[("row0", "a", "first"), ("row0", "a", "second")])
+
+        def proc():
+            handle = yield from client.begin(GROUP)
+            return (yield from client.read(handle, "row0", "a"))
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        assert process.value == "second"
+
+    def test_unknown_protocol_rejected(self):
+        cluster = preloaded_cluster()
+        with pytest.raises(ValueError):
+            cluster.add_client("V1", protocol="two-phase-locking")
+
+    def test_tids_unique_per_client(self):
+        cluster = preloaded_cluster()
+        client = cluster.add_client("V1")
+        first = run_txn(cluster, client, GROUP, writes=[("row0", "a", 1)])
+        second = run_txn(cluster, client, GROUP, writes=[("row0", "a", 2)])
+        assert first.transaction.tid != second.transaction.tid

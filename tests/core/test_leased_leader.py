@@ -1,0 +1,103 @@
+"""Tests for the §7 leased-leader extension."""
+
+from repro.model import AbortReason
+from tests.conftest import make_cluster, run_txn
+
+GROUP = "g"
+
+
+def preloaded(**kwargs):
+    cluster = make_cluster(**kwargs)
+    cluster.preload(GROUP, {"row0": {f"a{i}": "init" for i in range(10)}})
+    return cluster
+
+
+class TestLeasedLeader:
+    def test_single_commit(self):
+        cluster = preloaded()
+        client = cluster.add_client("V2", protocol="leased-leader")
+        outcome = run_txn(cluster, client, GROUP,
+                          reads=[("row0", "a0")], writes=[("row0", "a1", "v")])
+        assert outcome.committed
+        assert outcome.commit_position == 1
+
+    def test_commits_replicated(self):
+        cluster = preloaded()
+        client = cluster.add_client("V1", protocol="leased-leader")
+        outcome = run_txn(cluster, client, GROUP, writes=[("row0", "a0", "v")])
+        for dc in cluster.topology.names:
+            entry = cluster.services[dc].replica(GROUP).chosen_entry(1)
+            assert entry is not None
+            assert entry.contains(outcome.transaction.tid)
+
+    def test_non_conflicting_concurrent_transactions_both_commit(self):
+        cluster = preloaded()
+        outcomes = []
+
+        def make_proc(index, dc):
+            client = cluster.add_client(dc, protocol="leased-leader")
+
+            def run():
+                yield cluster.env.timeout(index * 0.1)
+                handle = yield from client.begin(GROUP)
+                yield from client.read(handle, "row0", f"a{index}")
+                client.write(handle, "row0", f"a{index}", f"v{index}")
+                outcomes.append((yield from client.commit(handle)))
+
+            return cluster.env.process(run())
+
+        make_proc(0, "V1")
+        make_proc(1, "V2")
+        cluster.run()
+        assert all(outcome.committed for outcome in outcomes)
+        positions = sorted(outcome.commit_position for outcome in outcomes)
+        assert positions == [1, 2]
+
+    def test_conflicting_transaction_aborts(self):
+        cluster = preloaded()
+        outcomes = []
+
+        def make_proc(index, reads, writes):
+            client = cluster.add_client("V2", protocol="leased-leader")
+
+            def run():
+                yield cluster.env.timeout(index * 0.1)
+                handle = yield from client.begin(GROUP)
+                for item in reads:
+                    yield from client.read(handle, "row0", item)
+                for item in writes:
+                    client.write(handle, "row0", item, f"w{index}")
+                outcomes.append((yield from client.commit(handle)))
+
+            return cluster.env.process(run())
+
+        # Both read a0; the first writes it.  The second's read is stale by
+        # the time the leader orders it.
+        make_proc(0, ["a0"], ["a0"])
+        make_proc(1, ["a0"], ["a1"])
+        cluster.run()
+        committed = [o for o in outcomes if o.committed]
+        lost = [o for o in outcomes if not o.committed]
+        assert len(committed) == 1 and len(lost) == 1
+        assert lost[0].abort_reason is AbortReason.PROMOTION_CONFLICT
+
+    def test_serializability_invariants_hold(self):
+        cluster = preloaded()
+        outcomes = []
+
+        def make_proc(index, dc):
+            client = cluster.add_client(dc, protocol="leased-leader")
+
+            def run():
+                yield cluster.env.timeout(index * 50.0)
+                handle = yield from client.begin(GROUP)
+                value = yield from client.read(handle, "row0", "a0")
+                client.write(handle, "row0", "a0", f"{value}+{index}")
+                outcomes.append((yield from client.commit(handle)))
+
+            return cluster.env.process(run())
+
+        for index, dc in enumerate(["V1", "V2", "V3", "V1"]):
+            make_proc(index, dc)
+        cluster.run()
+        cluster.check_invariants(GROUP, outcomes)

@@ -1,0 +1,83 @@
+"""Tests for the shared commit-protocol machinery."""
+
+from repro.core.protocol import PaxosCommitBase, PositionResult, ValueDecision
+from repro.wal.entry import LogEntry
+from tests.conftest import make_cluster
+from tests.helpers import txn
+
+GROUP = "g"
+
+
+class TestFromDecided:
+    def test_own_transaction_in_entry_commits(self):
+        t = txn("me", writes={"a": 1})
+        entry = LogEntry.single(t)
+        result = PaxosCommitBase._from_decided(entry, t, attempts=2)
+        assert result.kind == "committed"
+        assert result.entry is entry
+        assert result.attempts == 2
+
+    def test_membership_in_combined_entry_commits(self):
+        t = txn("me", writes={"a": 1})
+        entry = LogEntry.combined([txn("other", writes={"b": 1}), t])
+        result = PaxosCommitBase._from_decided(entry, t, attempts=1)
+        assert result.kind == "committed"
+
+    def test_foreign_entry_is_lost(self):
+        t = txn("me", writes={"a": 1})
+        entry = LogEntry.single(txn("other", writes={"a": 2}))
+        result = PaxosCommitBase._from_decided(entry, t, attempts=1)
+        assert result.kind == "lost"
+        assert result.entry is entry
+
+
+class TestClaimFastPath:
+    def run_claim(self, cluster, client, leader_dc, claimant="txn-a"):
+        protocol = client.protocol
+
+        def proc():
+            return (yield from protocol._claim_fast_path(
+                GROUP, 1, leader_dc, claimant
+            ))
+
+        process = cluster.env.process(proc())
+        cluster.run()
+        return process.value
+
+    def test_first_claimant_granted(self):
+        cluster = make_cluster()
+        client = cluster.add_client("V1", protocol="paxos")
+        assert self.run_claim(cluster, client, "V1") is True
+
+    def test_second_transaction_denied(self):
+        cluster = make_cluster()
+        client = cluster.add_client("V1", protocol="paxos")
+        assert self.run_claim(cluster, client, "V1", claimant="txn-a") is True
+        assert self.run_claim(cluster, client, "V1", claimant="txn-b") is False
+
+    def test_unknown_leader_datacenter_returns_false(self):
+        cluster = make_cluster()
+        client = cluster.add_client("V1", protocol="paxos")
+        assert self.run_claim(cluster, client, "nowhere") is False
+
+    def test_unreachable_leader_returns_false_after_timeout(self):
+        cluster = make_cluster(timeout_ms=100.0)
+        client = cluster.add_client("V1", protocol="paxos")
+        cluster.services["V2"].node.down = True
+        started = cluster.env.now
+        assert self.run_claim(cluster, client, "V2") is False
+        assert cluster.env.now - started >= 100.0
+
+
+class TestValueDecision:
+    def test_kinds(self):
+        entry = LogEntry.single(txn("t", writes={"a": 1}))
+        value_decision = ValueDecision(kind="value", value=entry)
+        promote_decision = ValueDecision(kind="promote", winner=entry)
+        assert value_decision.value is entry
+        assert promote_decision.winner is entry
+
+    def test_position_result_defaults(self):
+        result = PositionResult("timeout")
+        assert result.entry is None
+        assert not result.fast_path

@@ -1,0 +1,58 @@
+"""Tests for the figure grid definitions."""
+
+from repro.harness.figures import (
+    ALL_FIGURES,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+
+
+class TestGrids:
+    def test_every_figure_defined(self):
+        assert set(ALL_FIGURES) == {
+            "figure4", "figure5", "figure6", "figure7", "figure8"
+        }
+
+    def test_every_cell_runs_both_protocols(self):
+        for name, build in ALL_FIGURES.items():
+            grid = build()
+            protocols = {cell.protocol for cell in grid.cells}
+            assert protocols == {"paxos", "paxos-cp"}, name
+
+    def test_figure4_replica_counts(self):
+        grid = figure4()
+        sizes = sorted({len(cell.cluster.cluster_code) for cell in grid.cells})
+        assert sizes == [2, 3, 4, 5]
+
+    def test_figure5_combinations(self):
+        grid = figure5()
+        codes = {cell.cluster.cluster_code for cell in grid.cells}
+        assert {"VV", "OV", "VVV", "COV", "VVVOC"} <= codes
+
+    def test_figure6_attribute_sweep(self):
+        grid = figure6()
+        attrs = sorted({cell.workload.n_attributes for cell in grid.cells})
+        assert attrs == [20, 50, 100, 250, 500]
+        assert all(cell.cluster.cluster_code == "VVV" for cell in grid.cells)
+
+    def test_figure7_rate_sweep(self):
+        grid = figure7()
+        rates = sorted({cell.workload.target_rate_per_thread for cell in grid.cells})
+        assert rates == [0.5, 1.0, 2.0, 4.0]
+
+    def test_figure8_per_datacenter(self):
+        grid = figure8()
+        assert all(cell.per_datacenter_instances for cell in grid.cells)
+        assert all(cell.cluster.cluster_code == "VOC" for cell in grid.cells)
+
+    def test_scaled_reduces_budget_everywhere(self):
+        grid = figure6().scaled(25)
+        assert all(cell.workload.n_transactions == 25 for cell in grid.cells)
+
+    def test_paper_shapes_documented(self):
+        for build in ALL_FIGURES.values():
+            grid = build()
+            assert len(grid.paper_shape) > 50

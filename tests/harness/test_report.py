@@ -1,0 +1,64 @@
+"""Tests for table rendering."""
+
+from repro.harness.experiment import ExperimentResult, ExperimentSpec
+from repro.harness.metrics import RunMetrics
+from repro.harness.report import (
+    format_cells,
+    format_comparison,
+    format_per_instance,
+    format_table,
+)
+from repro.model import AbortReason
+from tests.helpers import aborted, committed, txn
+
+
+def fake_result(name="cell-a", protocol="paxos"):
+    outcomes = [
+        committed(txn("t1", writes={"a": 1}), position=1),
+        committed(txn("t2", writes={"a": 2}), position=2, promotions=1),
+        aborted(txn("t3", writes={"a": 3}), AbortReason.LOST_POSITION),
+    ]
+    for index, outcome in enumerate(outcomes):
+        outcome.end_time = 100.0 * (index + 1)
+    metrics = RunMetrics.from_outcomes(outcomes, protocol=protocol)
+    spec = ExperimentSpec(name=name, protocol=protocol)
+    return ExperimentResult(spec=spec, metrics=metrics,
+                            per_instance={"V1": metrics})
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["col", "x"], [["a", "1"], ["bbbb", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert set(lines[1].replace("  ", " ")) <= {"-", " "}
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+class TestFormatCells:
+    def test_contains_key_statistics(self):
+        text = format_cells([fake_result()])
+        assert "cell-a" in text
+        assert "paxos" in text
+        assert "r0:1 r1:1" in text
+        assert "66.7%" in text
+
+    def test_title_prepended(self):
+        text = format_cells([fake_result()], title="Figure X")
+        assert text.startswith("Figure X\n")
+
+
+class TestFormatPerInstance:
+    def test_one_row_per_datacenter(self):
+        text = format_per_instance(fake_result())
+        assert "V1" in text
+
+
+class TestFormatComparison:
+    def test_has_paper_line_and_table(self):
+        text = format_comparison("the paper says things", [fake_result()],
+                                 figure="Figure 4")
+        assert text.startswith("== Figure 4 ==")
+        assert "paper: the paper says things" in text
+        assert "cell-a" in text

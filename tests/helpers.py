@@ -1,0 +1,59 @@
+"""Builders shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.model import Transaction, TransactionOutcome, TransactionStatus
+from repro.wal.entry import LogEntry
+
+
+def txn(
+    tid: str,
+    reads: dict[str, Any] | None = None,
+    writes: dict[str, Any] | None = None,
+    read_position: int = 0,
+    group: str = "g",
+    origin_dc: str = "V1",
+) -> Transaction:
+    """A transaction over single-row items: attribute name → value.
+
+    ``reads`` maps attribute → the value observed (recorded in the
+    snapshot); ``writes`` maps attribute → the value written.  Items are
+    ``("row0", attribute)``.
+    """
+    reads = reads or {}
+    writes = writes or {}
+    read_items = tuple(sorted(("row0", a) for a in reads))
+    return Transaction(
+        tid=tid,
+        group=group,
+        read_set=frozenset(read_items),
+        writes=tuple((("row0", a), v) for a, v in sorted(writes.items())),
+        read_position=read_position,
+        origin=f"cli:{tid}",
+        origin_dc=origin_dc,
+        read_snapshot=tuple((("row0", a), v) for a, v in sorted(reads.items())),
+    )
+
+
+def entry(*txns: Transaction) -> LogEntry:
+    return LogEntry(transactions=tuple(txns))
+
+
+def committed(transaction: Transaction, position: int | None = None,
+              promotions: int = 0) -> TransactionOutcome:
+    return TransactionOutcome(
+        transaction=transaction,
+        status=TransactionStatus.COMMITTED,
+        commit_position=position,
+        promotions=promotions,
+    )
+
+
+def aborted(transaction: Transaction, reason) -> TransactionOutcome:
+    return TransactionOutcome(
+        transaction=transaction,
+        status=TransactionStatus.ABORTED,
+        abort_reason=reason,
+    )

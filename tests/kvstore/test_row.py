@@ -1,0 +1,36 @@
+"""Tests for immutable row versions."""
+
+import pytest
+
+from repro.kvstore.row import RowVersion
+
+
+class TestRowVersion:
+    def test_attributes_frozen(self):
+        version = RowVersion(timestamp=1, attributes={"a": 1})
+        with pytest.raises(TypeError):
+            version.attributes["a"] = 2
+
+    def test_source_dict_mutations_do_not_leak(self):
+        source = {"a": 1}
+        version = RowVersion(timestamp=1, attributes=source)
+        source["a"] = 99
+        assert version.get("a") == 1
+
+    def test_get_with_default(self):
+        version = RowVersion(timestamp=1, attributes={"a": 1})
+        assert version.get("a") == 1
+        assert version.get("b") is None
+        assert version.get("b", "fallback") == "fallback"
+
+    def test_merged_with_overrides_and_carries(self):
+        version = RowVersion(timestamp=1, attributes={"a": 1, "b": 2})
+        merged = version.merged_with({"b": 20, "c": 30}, timestamp=2)
+        assert merged.timestamp == 2
+        assert dict(merged.attributes) == {"a": 1, "b": 20, "c": 30}
+        # original untouched
+        assert dict(version.attributes) == {"a": 1, "b": 2}
+
+    def test_equality_by_content(self):
+        assert RowVersion(1, {"a": 1}) == RowVersion(1, {"a": 1})
+        assert RowVersion(1, {"a": 1}) != RowVersion(2, {"a": 1})

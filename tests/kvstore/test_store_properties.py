@@ -1,0 +1,131 @@
+"""Property-based tests for the multi-version store (hypothesis).
+
+The store is the foundation the Paxos acceptor's atomicity rests on, so its
+laws get the heaviest property coverage:
+
+* version timestamps are strictly increasing per row;
+* a read at timestamp *t* sees exactly the merge of all writes ≤ *t*;
+* check_and_write is equivalent to (read-test, write) with no interleaving.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RowVersionError
+from repro.kvstore.store import MultiVersionStore
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+attributes = st.sampled_from(["a", "b", "c"])
+values = st.integers(min_value=0, max_value=9)
+timestamps = st.integers(min_value=1, max_value=40)
+
+write_ops = st.tuples(st.just("write"), keys, attributes, values, timestamps)
+caw_ops = st.tuples(st.just("caw"), keys, attributes, values, values, timestamps)
+operations = st.lists(st.one_of(write_ops, caw_ops), max_size=40)
+
+
+class ModelStore:
+    """A brutally simple reference model: list of accepted writes per key."""
+
+    def __init__(self) -> None:
+        self.writes: dict[str, list[tuple[int, str, int]]] = {}
+
+    def latest_ts(self, key: str) -> int | None:
+        entries = self.writes.get(key)
+        return max(ts for ts, _a, _v in entries) if entries else None
+
+    def image_at(self, key: str, timestamp: int | None) -> dict[str, int]:
+        image: dict[str, int] = {}
+        for ts, attribute, value in sorted(self.writes.get(key, [])):
+            if timestamp is None or ts <= timestamp:
+                image[attribute] = value
+        return image
+
+    def write(self, key: str, attribute: str, value: int, ts: int) -> bool:
+        latest = self.latest_ts(key)
+        if latest is not None and ts <= latest:
+            return False
+        self.writes.setdefault(key, []).append((ts, attribute, value))
+        return True
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_store_matches_reference_model(ops):
+    store = MultiVersionStore("prop")
+    model = ModelStore()
+    for op in ops:
+        if op[0] == "write":
+            _tag, key, attribute, value, ts = op
+            accepted = model.write(key, attribute, value, ts)
+            if accepted:
+                store.write(key, {attribute: value}, timestamp=ts)
+            else:
+                try:
+                    store.write(key, {attribute: value}, timestamp=ts)
+                    raise AssertionError("store accepted a stale write")
+                except RowVersionError:
+                    pass
+        else:
+            _tag, key, attribute, test_value, value, ts = op
+            current = model.image_at(key, None).get(attribute)
+            expected_ok = current == test_value and (
+                model.latest_ts(key) is None or ts > model.latest_ts(key)
+            )
+            if current == test_value:
+                # Mirror the store: a passing check attempts the write, which
+                # may still raise on a stale timestamp.
+                try:
+                    ok = store.check_and_write(key, attribute, test_value,
+                                               {attribute: value}, timestamp=ts)
+                except RowVersionError:
+                    ok = False
+                    assert not expected_ok
+                else:
+                    assert ok
+                    model.write(key, attribute, value, ts)
+            else:
+                ok = store.check_and_write(key, attribute, test_value,
+                                           {attribute: value}, timestamp=ts)
+                assert not ok
+    # Final state equivalence at every probe timestamp.
+    for key in ["k1", "k2", "k3"]:
+        for probe in [None, 1, 10, 20, 40]:
+            version = store.read(key, timestamp=probe)
+            expected = model.image_at(key, probe)
+            if not expected:
+                assert version is None or probe is None
+            else:
+                assert version is not None
+                assert dict(version.attributes) == expected
+
+
+@given(st.lists(st.tuples(attributes, values), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_auto_timestamps_strictly_increase(writes):
+    store = MultiVersionStore("auto")
+    previous = 0
+    for attribute, value in writes:
+        ts = store.write("k", {attribute: value})
+        assert ts > previous
+        previous = ts
+
+
+@given(st.lists(st.tuples(attributes, values, timestamps), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_reads_are_repeatable(writes):
+    """Reading the same (key, timestamp) twice gives identical images."""
+    store = MultiVersionStore("repeat")
+    applied = []
+    for attribute, value, ts in writes:
+        try:
+            store.write("k", {attribute: value}, timestamp=ts)
+            applied.append(ts)
+        except RowVersionError:
+            pass
+    for probe in applied:
+        first = store.read("k", timestamp=probe)
+        second = store.read("k", timestamp=probe)
+        assert first == second

@@ -1,0 +1,75 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency, RttMatrixLatency
+from repro.net.topology import cluster_preset
+
+
+class TestConstantLatency:
+    def test_fixed_delay(self):
+        model = ConstantLatency(3.0)
+        rng = random.Random(0)
+        assert model.one_way_delay("A", "B", rng) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestRttMatrixLatency:
+    def setup_method(self):
+        self.topology = cluster_preset("COV")
+
+    def test_base_rtt_uses_paper_matrix(self):
+        model = RttMatrixLatency(self.topology, jitter=0.0)
+        assert model.base_rtt("C", "O") == 20.0
+        assert model.base_rtt("C", "V1") == 90.0
+        assert model.base_rtt("O", "V1") == 90.0
+
+    def test_same_datacenter_uses_intra_dc_rtt(self):
+        model = RttMatrixLatency(self.topology, jitter=0.0)
+        assert model.base_rtt("C", "C") == 0.3
+
+    def test_one_way_is_half_rtt_without_jitter(self):
+        model = RttMatrixLatency(self.topology, jitter=0.0)
+        rng = random.Random(0)
+        assert model.one_way_delay("C", "O", rng) == 10.0
+
+    def test_jitter_stays_near_base(self):
+        model = RttMatrixLatency(self.topology, jitter=0.1)
+        rng = random.Random(1)
+        delays = [model.one_way_delay("C", "V1", rng) for _ in range(500)]
+        base = 45.0
+        assert all(0.5 * base <= d <= 1.6 * base for d in delays)
+        mean = sum(delays) / len(delays)
+        assert abs(mean - base) < 2.0
+
+    def test_jitter_floor_prevents_tiny_delays(self):
+        model = RttMatrixLatency(self.topology, jitter=0.2)
+        rng = random.Random(2)
+        base = 10.0  # C-O one way
+        delays = [model.one_way_delay("C", "O", rng) for _ in range(1000)]
+        assert min(delays) >= 0.6 * base - 1e-9
+
+    def test_symmetric(self):
+        model = RttMatrixLatency(self.topology, jitter=0.0)
+        rng = random.Random(0)
+        assert model.one_way_delay("C", "O", rng) == model.one_way_delay("O", "C", rng)
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RttMatrixLatency(self.topology, jitter=0.7)
+
+    def test_missing_pair_reported(self):
+        model = RttMatrixLatency(self.topology, rtt_ms={}, jitter=0.0)
+        with pytest.raises(KeyError):
+            model.base_rtt("C", "O")
+
+    def test_three_virginia_zones_use_same_region_rtt(self):
+        topology = cluster_preset("VVV")
+        model = RttMatrixLatency(topology, jitter=0.0)
+        assert model.base_rtt("V1", "V2") == 1.5
+        assert model.base_rtt("V2", "V3") == 1.5

@@ -1,0 +1,227 @@
+"""Tests for request/response correlation and quorum gathering."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Gather, Node
+from repro.net.topology import cluster_preset
+
+
+def build(env, delay=1.0, loss=0.0):
+    topology = cluster_preset("VVVOC")
+    network = Network(env, topology, ConstantLatency(delay), loss_probability=loss)
+    return network
+
+
+class TestMessageEnvelope:
+    def test_reply_swaps_endpoints_and_echoes_request_id(self):
+        msg = Message(src="a", dst="b", type="read", payload=1, request_id=7)
+        reply = msg.reply("value")
+        assert reply.src == "b" and reply.dst == "a"
+        assert reply.request_id == 7
+        assert reply.is_response
+        assert reply.type == "read.response"
+
+    def test_reply_to_fire_and_forget_rejected(self):
+        msg = Message(src="a", dst="b", type="apply")
+        with pytest.raises(ValueError):
+            msg.reply(None)
+
+    def test_message_ids_unique(self):
+        first = Message(src="a", dst="b", type="t")
+        second = Message(src="a", dst="b", type="t")
+        assert first.msg_id != second.msg_id
+
+
+class TestRequestResponse:
+    def test_sync_handler_reply(self, env):
+        network = build(env)
+        server = Node(env, network, "server", "V1")
+        client = Node(env, network, "client", "V2")
+        server.on("double", lambda msg: msg.payload * 2)
+
+        def proc():
+            responses = yield client.request("server", "double", 21)
+            return responses[0].payload
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 42
+
+    def test_generator_handler_reply(self, env):
+        network = build(env)
+        server = Node(env, network, "server", "V1")
+        client = Node(env, network, "client", "V2")
+
+        def handler(msg):
+            yield env.timeout(5.0)
+            return msg.payload + 1
+
+        server.on("inc", handler)
+
+        def proc():
+            responses = yield client.request("server", "inc", 1)
+            return (responses[0].payload, env.now)
+
+        process = env.process(proc())
+        env.run()
+        value, finished = process.value
+        assert value == 2
+        assert finished == 1.0 + 5.0 + 1.0  # out + service + back
+
+    def test_handler_exception_escapes_loudly(self, env):
+        network = build(env)
+        server = Node(env, network, "server", "V1")
+        client = Node(env, network, "client", "V2")
+
+        def handler(msg):
+            yield env.timeout(1.0)
+            raise RuntimeError("handler blew up")
+
+        server.on("bad", handler)
+
+        def proc():
+            yield client.request("server", "bad", None, timeout_ms=50)
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="handler blew up"):
+            env.run()
+
+    def test_duplicate_handler_registration_rejected(self, env):
+        network = build(env)
+        node = Node(env, network, "n", "V1")
+        node.on("x", lambda m: None)
+        with pytest.raises(ValueError):
+            node.on("x", lambda m: None)
+
+    def test_down_node_does_not_reply(self, env):
+        network = build(env)
+        server = Node(env, network, "server", "V1")
+        client = Node(env, network, "client", "V2")
+
+        def handler(msg):
+            yield env.timeout(1.0)
+            server.down = True
+            return "too late"
+
+        server.on("q", handler)
+
+        def proc():
+            responses = yield client.request("server", "q", None, timeout_ms=100)
+            return responses
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == []
+
+
+class TestGather:
+    def make_servers(self, env, network, delays):
+        """Servers replying 'ok' after per-server service delays."""
+        for index, (dc, service_delay) in enumerate(delays):
+            node = Node(env, network, f"s{index}", dc)
+
+            def handler(msg, d=service_delay):
+                yield env.timeout(d)
+                return "ok"
+
+            node.on("vote", handler)
+        return [f"s{i}" for i in range(len(delays))]
+
+    def test_completes_when_all_respond(self, env):
+        network = build(env)
+        servers = self.make_servers(env, network, [("V1", 0), ("V2", 0), ("V3", 0)])
+        client = Node(env, network, "client", "V1")
+
+        def proc():
+            responses = yield client.request_many(servers, "vote", timeout_ms=1000)
+            return len(responses)
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 3
+
+    def test_quorum_plus_grace_cuts_off_stragglers(self, env):
+        network = build(env)
+        # Two fast servers, one very slow.
+        servers = self.make_servers(env, network, [("V1", 0), ("V2", 0), ("V3", 500)])
+        client = Node(env, network, "client", "V1")
+
+        def proc():
+            gather = client.request_many(
+                servers, "vote",
+                enough=lambda rs: len(rs) >= 2,
+                timeout_ms=2000, grace_ms=3.0,
+            )
+            responses = yield gather
+            return (len(responses), env.now)
+
+        process = env.process(proc())
+        env.run()
+        count, finished = process.value
+        assert count == 2
+        assert finished < 10.0  # did not wait for the 500 ms straggler
+
+    def test_grace_window_collects_near_ties(self, env):
+        network = build(env)
+        servers = self.make_servers(env, network, [("V1", 0), ("V2", 0.5), ("V3", 1.0)])
+        client = Node(env, network, "client", "V1")
+
+        def proc():
+            gather = client.request_many(
+                servers, "vote",
+                enough=lambda rs: len(rs) >= 2,
+                timeout_ms=2000, grace_ms=5.0,
+            )
+            responses = yield gather
+            return len(responses)
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 3
+
+    def test_timeout_returns_partial_set(self, env):
+        network = build(env)
+        servers = self.make_servers(env, network, [("V1", 0), ("V2", 5000), ("V3", 5000)])
+        client = Node(env, network, "client", "V1")
+
+        def proc():
+            gather = client.request_many(
+                servers, "vote",
+                enough=lambda rs: len(rs) >= 2,
+                timeout_ms=100, grace_ms=0.0,
+            )
+            responses = yield gather
+            return (len(responses), env.now)
+
+        process = env.process(proc())
+        env.run()
+        count, finished = process.value
+        assert count == 1
+        assert finished >= 100
+
+    def test_late_responses_after_completion_ignored(self, env):
+        network = build(env)
+        servers = self.make_servers(env, network, [("V1", 0), ("V2", 50)])
+        client = Node(env, network, "client", "V1")
+
+        def proc():
+            gather = client.request_many(
+                servers, "vote",
+                enough=lambda rs: len(rs) >= 1,
+                timeout_ms=2000, grace_ms=0.0,
+            )
+            responses = yield gather
+            return list(responses)
+
+        process = env.process(proc())
+        env.run()  # the slow reply arrives after completion; must be dropped
+        assert len(process.value) == 1
+
+    def test_zero_expected_completes_via_timeout(self, env):
+        gather = Gather(env, expected=3, enough=None, timeout_ms=10, grace_ms=0)
+        env.run()
+        assert gather.triggered
+        assert gather.value == []

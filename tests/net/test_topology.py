@@ -1,0 +1,72 @@
+"""Tests for datacenters, regions, and cluster presets."""
+
+import pytest
+
+from repro.errors import UnknownDatacenter
+from repro.net.topology import (
+    CALIFORNIA,
+    OREGON,
+    PAPER_RTT_MS,
+    VIRGINIA,
+    Datacenter,
+    Topology,
+    cluster_preset,
+)
+
+
+class TestTopology:
+    def test_requires_datacenters(self):
+        with pytest.raises(ValueError):
+            Topology([])
+
+    def test_rejects_duplicate_names(self):
+        dc = Datacenter("A", VIRGINIA)
+        with pytest.raises(ValueError):
+            Topology([dc, Datacenter("A", OREGON)])
+
+    def test_lookup(self):
+        topology = Topology([Datacenter("A", VIRGINIA)])
+        assert topology.get("A").region == VIRGINIA
+        with pytest.raises(UnknownDatacenter):
+            topology.get("B")
+
+    def test_majority(self):
+        for size, majority in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3)]:
+            topology = Topology([
+                Datacenter(f"D{i}", VIRGINIA) for i in range(size)
+            ])
+            assert topology.majority == majority, size
+
+
+class TestClusterPreset:
+    def test_paper_combinations(self):
+        assert cluster_preset("VV").names == ["V1", "V2"]
+        assert cluster_preset("VVV").names == ["V1", "V2", "V3"]
+        assert cluster_preset("OV").names == ["O", "V1"]
+        assert cluster_preset("COV").names == ["C", "O", "V1"]
+        assert cluster_preset("VVVOC").names == ["V1", "V2", "V3", "O", "C"]
+
+    def test_regions_assigned(self):
+        topology = cluster_preset("COV")
+        assert topology.region_of("C") == CALIFORNIA
+        assert topology.region_of("O") == OREGON
+        assert topology.region_of("V1") == VIRGINIA
+
+    def test_at_most_three_virginia_zones(self):
+        with pytest.raises(ValueError):
+            cluster_preset("VVVV")
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_preset("VX")
+
+    def test_lowercase_accepted(self):
+        assert cluster_preset("cov").names == ["C", "O", "V1"]
+
+
+class TestPaperRtts:
+    def test_matrix_matches_section6(self):
+        assert PAPER_RTT_MS[frozenset({VIRGINIA})] == 1.5
+        assert PAPER_RTT_MS[frozenset({VIRGINIA, OREGON})] == 90.0
+        assert PAPER_RTT_MS[frozenset({VIRGINIA, CALIFORNIA})] == 90.0
+        assert PAPER_RTT_MS[frozenset({OREGON, CALIFORNIA})] == 20.0

@@ -1,0 +1,93 @@
+"""A miniature Paxos deployment for proposer/learner tests.
+
+N acceptor nodes (instant stores, constant network latency) plus client
+nodes, without the transaction tier on top — tests drive raw synod phases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.kvstore.service import StoreAccessor, StoreLatencyModel
+from repro.kvstore.store import MultiVersionStore
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.topology import Datacenter, Topology, VIRGINIA
+from repro.paxos import messages as m
+from repro.paxos.acceptor import Acceptor
+
+
+class MiniDeployment:
+    def __init__(self, env, n=3, latency=1.0, loss=0.0,
+                 store_latency=(0.0, 0.0)) -> None:
+        self.env = env
+        topology = Topology([Datacenter(f"D{i}", VIRGINIA) for i in range(n)])
+        self.network = Network(env, topology, ConstantLatency(latency),
+                               loss_probability=loss)
+        self.stores: list[MultiVersionStore] = []
+        self.acceptors: list[Acceptor] = []
+        self.service_names: list[str] = []
+        for i in range(n):
+            store = MultiVersionStore(f"store{i}")
+            accessor = StoreAccessor(env, store,
+                                     latency=StoreLatencyModel(*store_latency))
+            acceptor = Acceptor(accessor)
+            node = Node(env, self.network, f"acc{i}", f"D{i}")
+            node.on(m.PREPARE, lambda msg, a=acceptor: a.on_prepare(msg.payload))
+            node.on(m.ACCEPT, lambda msg, a=acceptor: a.on_accept(msg.payload))
+            node.on(m.APPLY, lambda msg, a=acceptor: a.on_apply(msg.payload))
+            node.on(m.LEARN, lambda msg, a=acceptor: a.on_learn(msg.payload))
+            self.stores.append(store)
+            self.acceptors.append(acceptor)
+            self.service_names.append(node.name)
+        self._clients = 0
+        self.config = ProtocolConfig(timeout_ms=200.0, quorum_grace_ms=2.0,
+                                     retry_backoff_ms=10.0)
+
+    def client_node(self) -> Node:
+        self._clients += 1
+        return Node(self.env, self.network, f"client{self._clients}", "D0")
+
+    def chosen_values(self, group: str, position: int) -> list:
+        """The chosen value at each store that has one."""
+        from repro.paxos.acceptor import AcceptorState
+        from repro.wal.log import paxos_row_key
+
+        values = []
+        for store in self.stores:
+            state = AcceptorState.from_version(
+                store.read(paxos_row_key(group, position))
+            )
+            if state.chosen:
+                values.append(state.value)
+        return values
+
+    def accepted_majority_value(self, group: str, position: int):
+        """A value accepted at one ballot by a majority, if any (= decided)."""
+        from collections import Counter
+
+        from repro.paxos.acceptor import AcceptorState
+        from repro.wal.log import paxos_row_key
+
+        counter = Counter()
+        values = {}
+        for store in self.stores:
+            state = AcceptorState.from_version(
+                store.read(paxos_row_key(group, position))
+            )
+            if state.value is not None:
+                key = (state.ballot, state.value.tids)
+                counter[key] += 1
+                values[key] = state.value
+        majority = len(self.stores) // 2 + 1
+        for key, count in counter.items():
+            if count >= majority:
+                return values[key]
+        return None
+
+
+@pytest.fixture
+def deployment(env):
+    return MiniDeployment(env)

@@ -1,0 +1,212 @@
+"""Tests for the acceptor role (Algorithm 1)."""
+
+import pytest
+
+from repro.kvstore.service import StoreAccessor, StoreLatencyModel
+from repro.kvstore.store import MultiVersionStore
+from repro.paxos.acceptor import Acceptor
+from repro.paxos.ballot import NULL_BALLOT, Ballot, fast_path_ballot
+from repro.paxos.messages import (
+    AcceptPayload,
+    ApplyPayload,
+    LearnPayload,
+    PreparePayload,
+)
+from repro.wal.entry import LogEntry
+from tests.helpers import txn
+
+
+@pytest.fixture
+def setup(env):
+    store = MultiVersionStore("acceptor-test")
+    accessor = StoreAccessor(env, store, latency=StoreLatencyModel.instant())
+    return Acceptor(accessor), store
+
+
+def run(env, generator):
+    process = env.process(generator)
+    env.run()
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+def value_of(*tids):
+    return LogEntry(transactions=tuple(txn(t, writes={"a": t}) for t in tids))
+
+
+class TestPrepare:
+    def test_first_prepare_promised_with_null_vote(self, env, setup):
+        acceptor, _ = setup
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(1, "c"))))
+        assert reply.success
+        assert reply.promised == Ballot(1, "c")
+        assert reply.last_ballot == NULL_BALLOT
+        assert reply.last_value is None
+
+    def test_lower_prepare_refused_with_promised_ballot(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(5, "a"))))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(2, "b"))))
+        assert not reply.success
+        assert reply.promised == Ballot(5, "a")
+
+    def test_equal_prepare_refused(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(3, "a"))))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(3, "a"))))
+        assert not reply.success
+
+    def test_prepare_reports_last_vote(self, env, setup):
+        acceptor, _ = setup
+        v = value_of("t1")
+        run(env, acceptor.on_accept(AcceptPayload("g", 1, Ballot(1, "a"), v)))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(2, "b"))))
+        assert reply.success
+        assert reply.last_ballot == Ballot(1, "a")
+        assert reply.last_value == v
+
+    def test_prepare_on_decided_position_returns_chosen(self, env, setup):
+        acceptor, _ = setup
+        v = value_of("t1")
+        run(env, acceptor.on_apply(ApplyPayload("g", 1, Ballot(1, "a"), v)))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(9, "b"))))
+        assert not reply.success
+        assert reply.chosen == v
+
+    def test_positions_are_independent(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(5, "a"))))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 2, Ballot(1, "b"))))
+        assert reply.success
+
+
+class TestAccept:
+    def test_accept_at_promised_ballot(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(1, "a"))))
+        reply = run(env, acceptor.on_accept(
+            AcceptPayload("g", 1, Ballot(1, "a"), value_of("t1"))
+        ))
+        assert reply.success
+
+    def test_accept_below_promise_refused(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(5, "a"))))
+        reply = run(env, acceptor.on_accept(
+            AcceptPayload("g", 1, Ballot(1, "b"), value_of("t1"))
+        ))
+        assert not reply.success
+        assert reply.promised == Ballot(5, "a")
+
+    def test_fast_path_accept_without_prepare(self, env, setup):
+        """The §4.1 leader optimization: a round-0 ACCEPT lands on a fresh
+        acceptor that never saw a prepare."""
+        acceptor, _ = setup
+        reply = run(env, acceptor.on_accept(
+            AcceptPayload("g", 1, fast_path_ballot("leaderclient"), value_of("t1"))
+        ))
+        assert reply.success
+
+    def test_accept_above_promise_allowed(self, env, setup):
+        """Standard Paxos acceptance (documented deviation 1)."""
+        acceptor, _ = setup
+        run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(1, "a"))))
+        reply = run(env, acceptor.on_accept(
+            AcceptPayload("g", 1, Ballot(3, "b"), value_of("t2"))
+        ))
+        assert reply.success
+
+    def test_revote_at_higher_ballot_replaces_vote(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_accept(AcceptPayload("g", 1, Ballot(1, "a"), value_of("t1"))))
+        run(env, acceptor.on_accept(AcceptPayload("g", 1, Ballot(2, "b"), value_of("t2"))))
+        reply = run(env, acceptor.on_prepare(PreparePayload("g", 1, Ballot(9, "c"))))
+        assert reply.last_ballot == Ballot(2, "b")
+        assert reply.last_value == value_of("t2")
+
+    def test_accept_after_decision_refused(self, env, setup):
+        acceptor, _ = setup
+        run(env, acceptor.on_apply(ApplyPayload("g", 1, Ballot(1, "a"), value_of("t1"))))
+        reply = run(env, acceptor.on_accept(
+            AcceptPayload("g", 1, Ballot(9, "b"), value_of("t2"))
+        ))
+        assert not reply.success
+
+
+class TestApply:
+    def test_apply_marks_chosen(self, env, setup):
+        acceptor, store = setup
+        v = value_of("t1")
+        run(env, acceptor.on_apply(ApplyPayload("g", 1, Ballot(1, "a"), v)))
+        learn = run(env, acceptor.on_learn(LearnPayload("g", 1)))
+        assert learn.chosen == v
+
+    def test_apply_idempotent(self, env, setup):
+        acceptor, _ = setup
+        v = value_of("t1")
+        run(env, acceptor.on_apply(ApplyPayload("g", 1, Ballot(1, "a"), v)))
+        run(env, acceptor.on_apply(ApplyPayload("g", 1, Ballot(2, "b"), v)))
+        learn = run(env, acceptor.on_learn(LearnPayload("g", 1)))
+        assert learn.chosen == v
+
+
+class TestLearn:
+    def test_learn_fresh_position(self, env, setup):
+        acceptor, _ = setup
+        reply = run(env, acceptor.on_learn(LearnPayload("g", 1)))
+        assert reply.chosen is None
+        assert reply.last_value is None
+
+    def test_learn_reports_vote_without_decision(self, env, setup):
+        acceptor, _ = setup
+        v = value_of("t1")
+        run(env, acceptor.on_accept(AcceptPayload("g", 1, Ballot(1, "a"), v)))
+        reply = run(env, acceptor.on_learn(LearnPayload("g", 1)))
+        assert reply.chosen is None
+        assert reply.last_value == v
+
+
+class TestConcurrentHandlerRace:
+    """Regression for the stale-vote race in Algorithm 1 as written.
+
+    With slow store operations, an ACCEPT's conditional write can land
+    between a concurrent PREPARE handler's read and *its* conditional
+    write.  Algorithm 1 guards only ``nextBal`` (which the ACCEPT leaves
+    unchanged when accepting at exactly the promised ballot), so the
+    prepare would reply with a stale null vote — and its proposer could
+    then propose against a chosen value.  Our seq-guarded acceptor must
+    instead retry the prepare and report the fresh vote.
+    """
+
+    def test_prepare_sees_vote_that_lands_during_handler(self, env):
+        store = MultiVersionStore("race")
+        accessor = StoreAccessor(env, store, latency=StoreLatencyModel(10.0, 10.0))
+        acceptor = Acceptor(accessor)
+        v = value_of("t1")
+
+        # The acceptor promised ballot (1, a) long ago (instant setup).
+        fast = StoreAccessor(env, store, latency=StoreLatencyModel.instant(),
+                             rng_stream="setup")
+        setup_acceptor = Acceptor(fast)
+        setup_reply = run(env, setup_acceptor.on_prepare(
+            PreparePayload("g", 1, Ballot(1, "a"))
+        ))
+        assert setup_reply.success
+
+        # Now: a slow PREPARE at (2, b) and an ACCEPT at (1, a) in flight
+        # concurrently.  The accept's write lands while the prepare handler
+        # is between its read and its conditional write.
+        prepare_process = env.process(acceptor.on_prepare(
+            PreparePayload("g", 1, Ballot(2, "b"))
+        ))
+        accept_process = env.process(setup_acceptor.on_accept(
+            AcceptPayload("g", 1, Ballot(1, "a"), v)
+        ))
+        env.run()
+        assert accept_process.value.success
+        reply = prepare_process.value
+        assert reply.success
+        # The critical assertion: the vote is visible, not a stale null.
+        assert reply.last_value == v
+        assert reply.last_ballot == Ballot(1, "a")

@@ -1,0 +1,60 @@
+"""Tests for proposal numbers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paxos.ballot import FAST_PATH_ROUND, NULL_BALLOT, Ballot, fast_path_ballot
+
+
+class TestOrdering:
+    def test_round_dominates(self):
+        assert Ballot(1, "z") < Ballot(2, "a")
+
+    def test_proposer_breaks_ties(self):
+        assert Ballot(1, "a") < Ballot(1, "b")
+
+    def test_null_below_everything(self):
+        assert NULL_BALLOT < Ballot(0, "")
+        assert NULL_BALLOT < fast_path_ballot("anyone")
+
+    def test_fast_path_is_round_zero(self):
+        ballot = fast_path_ballot("client")
+        assert ballot.round == FAST_PATH_ROUND
+        assert ballot < Ballot(1, "client")
+
+    def test_distinct_proposers_never_equal(self):
+        assert Ballot(3, "a") != Ballot(3, "b")
+
+
+class TestNextRound:
+    def test_exceeds_own_round(self):
+        ballot = Ballot(3, "me")
+        assert ballot.next_round("me") == Ballot(4, "me")
+
+    def test_exceeds_observed_floor(self):
+        ballot = Ballot(3, "me")
+        bumped = ballot.next_round("me", at_least=Ballot(10, "them"))
+        assert bumped == Ballot(11, "me")
+
+    def test_floor_below_self_ignored(self):
+        ballot = Ballot(5, "me")
+        assert ballot.next_round("me", at_least=Ballot(2, "x")) == Ballot(6, "me")
+
+
+ballots = st.builds(
+    Ballot,
+    round=st.integers(min_value=-1, max_value=100),
+    proposer=st.sampled_from(["a", "b", "c"]),
+)
+
+
+@given(ballots, ballots)
+def test_total_order(x, y):
+    assert (x < y) + (y < x) + (x == y) == 1
+
+
+@given(ballots, st.sampled_from(["a", "b"]), ballots)
+def test_next_round_strictly_greater(ballot, proposer, floor):
+    bumped = ballot.next_round(proposer, at_least=floor)
+    assert bumped > ballot
+    assert bumped.round > floor.round

@@ -1,0 +1,95 @@
+"""Tests for catch-up (§4.1 Fault Tolerance and Recovery)."""
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.learner import Learner
+from repro.paxos.proposer import SynodProposer
+from repro.wal.entry import LogEntry
+from tests.helpers import txn
+from tests.paxos.conftest import MiniDeployment
+
+
+def value_of(tid):
+    return LogEntry.single(txn(tid, writes={"a": tid}))
+
+
+def drive(env, generator):
+    process = env.process(generator)
+    env.run()
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+def decide(env, deployment, position, tid, apply_to_all=True):
+    client = deployment.client_node()
+    proposer = SynodProposer(client, "g", position, deployment.service_names,
+                             deployment.config)
+    ballot = Ballot(1, client.name)
+    value = value_of(tid)
+    drive(env, proposer.prepare(ballot))
+    drive(env, proposer.accept(ballot, value))
+    if apply_to_all:
+        proposer.apply(ballot, value)
+        env.run()
+    return value
+
+
+class TestPassiveLearn:
+    def test_learns_from_chosen_replica(self, env, deployment):
+        value = decide(env, deployment, 1, "t1")
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        assert drive(env, learner.learn(1)) == value
+
+    def test_learns_from_accepted_majority_without_apply(self, env, deployment):
+        value = decide(env, deployment, 1, "t1", apply_to_all=False)
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        assert drive(env, learner.learn(1)) == value
+
+    def test_undecided_position_returns_none(self, env, deployment):
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        assert drive(env, learner.learn(1)) is None
+
+
+class TestActiveRecovery:
+    def test_completes_a_minority_accepted_instance(self, env):
+        """A proposer crashed after one acceptor voted: recovery must
+        complete the instance with that value (never invent a new one)."""
+        deployment = MiniDeployment(env, n=3)
+        client = deployment.client_node()
+        proposer = SynodProposer(client, "g", 1,
+                                 deployment.service_names[:1],  # only D0!
+                                 deployment.config)
+        ballot = Ballot(1, client.name)
+        value = value_of("t1")
+        drive(env, proposer.prepare(ballot))
+        drive(env, proposer.accept(ballot, value))
+        # No apply; only acceptor 0 has the vote.
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        recovered = drive(env, learner.learn_or_decide(1))
+        assert recovered == value
+        assert deployment.accepted_majority_value("g", 1) == value
+
+    def test_untouched_position_is_reported_undecided(self, env, deployment):
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        assert drive(env, learner.learn_or_decide(1)) is None
+
+    def test_recovery_never_contradicts_a_decision(self, env, deployment):
+        value = decide(env, deployment, 1, "t1", apply_to_all=False)
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        recovered = drive(env, learner.learn_or_decide(1))
+        assert recovered == value
+
+    def test_recovery_with_one_datacenter_down(self, env):
+        deployment = MiniDeployment(env, n=3)
+        value = decide(env, deployment, 1, "t1", apply_to_all=False)
+        deployment.network.take_down("D2")
+        learner = Learner(deployment.client_node(), "g",
+                          deployment.service_names, deployment.config)
+        recovered = drive(env, learner.learn_or_decide(1))
+        assert recovered == value

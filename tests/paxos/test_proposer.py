@@ -1,0 +1,108 @@
+"""Tests for the synod phase driver."""
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.proposer import SynodProposer
+from repro.wal.entry import LogEntry
+from tests.helpers import txn
+from tests.paxos.conftest import MiniDeployment
+
+
+def value_of(tid):
+    return LogEntry.single(txn(tid, writes={"a": tid}))
+
+
+def drive(env, generator):
+    process = env.process(generator)
+    env.run()
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+class TestPreparePhase:
+    def test_gathers_all_promises(self, env, deployment):
+        client = deployment.client_node()
+        proposer = SynodProposer(client, "g", 1, deployment.service_names,
+                                 deployment.config)
+        outcome = drive(env, proposer.prepare(Ballot(1, client.name)))
+        assert outcome.successes == 3
+        assert outcome.chosen is None
+        assert all(reply.last_value is None for _s, reply in outcome.replies)
+
+    def test_refusals_reported_with_promised(self, env, deployment):
+        first = deployment.client_node()
+        second = deployment.client_node()
+        high = SynodProposer(first, "g", 1, deployment.service_names,
+                             deployment.config)
+        drive(env, high.prepare(Ballot(10, first.name)))
+        low = SynodProposer(second, "g", 1, deployment.service_names,
+                            deployment.config)
+        outcome = drive(env, low.prepare(Ballot(1, second.name)))
+        assert outcome.successes == 0
+        assert outcome.max_promised == Ballot(10, first.name)
+
+    def test_unreachable_majority_times_out_with_partial(self, env):
+        deployment = MiniDeployment(env, n=3)
+        deployment.network.take_down("D1")
+        deployment.network.take_down("D2")
+        client = deployment.client_node()
+        proposer = SynodProposer(client, "g", 1, deployment.service_names,
+                                 deployment.config)
+        outcome = drive(env, proposer.prepare(Ballot(1, client.name)))
+        assert outcome.successes == 1  # only the local acceptor answered
+
+
+class TestAcceptApply:
+    def test_accept_records_votes(self, env, deployment):
+        client = deployment.client_node()
+        proposer = SynodProposer(client, "g", 1, deployment.service_names,
+                                 deployment.config)
+        ballot = Ballot(1, client.name)
+        drive(env, proposer.prepare(ballot))
+        value = value_of("t1")
+        outcome = drive(env, proposer.accept(ballot, value))
+        # The accept gather completes at quorum (grace 0): at least a
+        # majority of SUCCESS votes, not necessarily all of them.
+        assert outcome.successes >= proposer.majority
+
+    def test_full_instance_decides_everywhere(self, env, deployment):
+        client = deployment.client_node()
+        proposer = SynodProposer(client, "g", 1, deployment.service_names,
+                                 deployment.config)
+        ballot = Ballot(1, client.name)
+        value = value_of("t1")
+        drive(env, proposer.prepare(ballot))
+        drive(env, proposer.accept(ballot, value))
+        proposer.apply(ballot, value)
+        env.run()
+        assert deployment.chosen_values("g", 1) == [value, value, value]
+
+    def test_accept_refused_after_higher_promise(self, env, deployment):
+        first = deployment.client_node()
+        second = deployment.client_node()
+        low = SynodProposer(first, "g", 1, deployment.service_names,
+                            deployment.config)
+        low_ballot = Ballot(1, first.name)
+        drive(env, low.prepare(low_ballot))
+        high = SynodProposer(second, "g", 1, deployment.service_names,
+                             deployment.config)
+        drive(env, high.prepare(Ballot(5, second.name)))
+        outcome = drive(env, low.accept(low_ballot, value_of("t1")))
+        assert outcome.successes == 0
+        assert outcome.max_promised == Ballot(5, second.name)
+
+    def test_chosen_shortcut_on_prepare(self, env, deployment):
+        first = deployment.client_node()
+        proposer = SynodProposer(first, "g", 1, deployment.service_names,
+                                 deployment.config)
+        ballot = Ballot(1, first.name)
+        value = value_of("t1")
+        drive(env, proposer.prepare(ballot))
+        drive(env, proposer.accept(ballot, value))
+        proposer.apply(ballot, value)
+        env.run()
+        second = deployment.client_node()
+        late = SynodProposer(second, "g", 1, deployment.service_names,
+                             deployment.config)
+        outcome = drive(env, late.prepare(Ballot(9, second.name)))
+        assert outcome.chosen == value

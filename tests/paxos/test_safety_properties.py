@@ -1,0 +1,111 @@
+"""Property-based Paxos safety under adversarial schedules.
+
+The core Paxos invariant — at most one value is ever decided per instance —
+must hold under message loss, slow stores (wide interleaving windows),
+duplicate proposers, and any seed.  We hammer one log position with many
+concurrent proposers under randomized conditions and assert:
+
+* all replicas that mark a value chosen mark the *same* value;
+* any value accepted by a majority at one ballot is unique per instance;
+* every proposer that believes it decided observed that same value.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.proposer import SynodProposer
+from repro.sim.env import Environment
+from repro.wal.entry import LogEntry
+from tests.helpers import txn
+from tests.paxos.conftest import MiniDeployment
+
+
+def proposer_process(env, deployment, client, value, max_attempts=12):
+    """A well-behaved single-decree proposer: prepare → adopt → accept."""
+
+    def run():
+        from repro.paxos.ballot import NULL_BALLOT
+
+        proposer = SynodProposer(client, "g", 1, deployment.service_names,
+                                 deployment.config)
+        rng = env.rng.stream(f"prop.{client.name}")
+        ballot = Ballot(1, client.name)
+        for _ in range(max_attempts):
+            prepare = yield from proposer.prepare(ballot)
+            if prepare.chosen is not None:
+                return prepare.chosen
+            if prepare.successes < proposer.majority:
+                yield env.timeout(rng.uniform(0, 20))
+                ballot = ballot.next_round(client.name, prepare.max_promised)
+                continue
+            best_ballot, best_value = NULL_BALLOT, None
+            for _src, reply in prepare.replies:
+                if not reply.success:
+                    continue
+                if reply.last_value is not None and reply.last_ballot > best_ballot:
+                    best_ballot, best_value = reply.last_ballot, reply.last_value
+            proposal = best_value if best_value is not None else value
+            accept = yield from proposer.accept(ballot, proposal)
+            if accept.successes >= proposer.majority:
+                proposer.apply(ballot, proposal)
+                return proposal
+            yield env.timeout(rng.uniform(0, 20))
+            ballot = ballot.next_round(client.name, accept.max_promised)
+        return None
+
+    return env.process(run())
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_acceptors=st.sampled_from([2, 3, 5]),
+    n_proposers=st.integers(min_value=2, max_value=5),
+    loss=st.sampled_from([0.0, 0.05, 0.2]),
+    duplicate=st.sampled_from([0.0, 0.3]),
+    store_hi=st.sampled_from([0.0, 5.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_at_most_one_value_decided(seed, n_acceptors, n_proposers, loss,
+                                   duplicate, store_hi):
+    env = Environment(seed=seed)
+    deployment = MiniDeployment(
+        env, n=n_acceptors, loss=loss, store_latency=(0.0, store_hi)
+    )
+    deployment.network.duplicate_probability = duplicate
+    processes = []
+    for index in range(n_proposers):
+        client = deployment.client_node()
+        value = LogEntry.single(txn(f"t{index}", writes={"a": f"v{index}"}))
+        processes.append(proposer_process(env, deployment, client, value))
+    env.run()
+
+    chosen = deployment.chosen_values("g", 1)
+    assert len({entry.tids for entry in chosen}) <= 1, (
+        f"replicas diverged: {[str(c) for c in chosen]}"
+    )
+    majority_value = deployment.accepted_majority_value("g", 1)
+    decided_views = {
+        process.value.tids for process in processes if process.value is not None
+    }
+    assert len(decided_views) <= 1, f"proposers decided differently: {decided_views}"
+    if chosen and majority_value is not None:
+        assert chosen[0].tids == majority_value.tids
+    if decided_views and chosen:
+        assert decided_views == {chosen[0].tids}
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_no_loss_single_proposer_always_decides(seed):
+    env = Environment(seed=seed)
+    deployment = MiniDeployment(env, n=3, loss=0.0)
+    client = deployment.client_node()
+    value = LogEntry.single(txn("t0", writes={"a": "v0"}))
+    process = proposer_process(env, deployment, client, value)
+    env.run()
+    assert process.value is not None
+    assert process.value.tids == ("t0",)
+    assert all(entry.tids == ("t0",) for entry in deployment.chosen_values("g", 1))

@@ -1,0 +1,96 @@
+"""Tests for MVSG construction details."""
+
+from repro.serializability.graph import (
+    INITIAL_NODE,
+    build_mvsg,
+    find_cycle,
+    serial_order_from_graph,
+)
+from repro.serializability.history import HistoryTxn, MVHistory
+
+A = ("row0", "a")
+B = ("row0", "b")
+
+
+def history_of(*txns):
+    history = MVHistory()
+    for t in txns:
+        history.add(t)
+        for item in t.writes:
+            history.version_order.setdefault(item, []).append(t.tid)
+    return history
+
+
+class TestEdges:
+    def test_reads_from_edge(self):
+        history = history_of(
+            HistoryTxn("w", writes=frozenset({A})),
+            HistoryTxn("r", reads=((A, "w"),)),
+        )
+        graph = build_mvsg(history)
+        assert graph.has_edge("w", "r")
+
+    def test_initial_read_edge_from_sentinel(self):
+        history = history_of(HistoryTxn("r", reads=((A, None),)))
+        graph = build_mvsg(history)
+        assert graph.has_edge(INITIAL_NODE, "r")
+
+    def test_later_version_forces_reader_first(self):
+        # r reads the initial version; w writes a later version: r → w.
+        history = history_of(
+            HistoryTxn("r", reads=((A, None),)),
+            HistoryTxn("w", writes=frozenset({A})),
+        )
+        graph = build_mvsg(history)
+        assert graph.has_edge("r", "w")
+
+    def test_earlier_version_orders_writers(self):
+        # r reads w2's version; w1 wrote an earlier version: w1 → w2.
+        history = history_of(
+            HistoryTxn("w1", writes=frozenset({A})),
+            HistoryTxn("w2", writes=frozenset({A})),
+            HistoryTxn("r", reads=((A, "w2"),)),
+        )
+        graph = build_mvsg(history)
+        assert graph.has_edge("w1", "w2")
+
+    def test_no_self_loops(self):
+        history = history_of(
+            HistoryTxn("t", reads=((A, None),), writes=frozenset({A})),
+        )
+        graph = build_mvsg(history)
+        assert not list(graph.edges("t", data=False)) or ("t", "t") not in graph.edges
+
+
+class TestCycleDetection:
+    def test_acyclic_reports_none(self):
+        history = history_of(
+            HistoryTxn("t1", writes=frozenset({A})),
+            HistoryTxn("t2", reads=((A, "t1"),)),
+        )
+        assert find_cycle(build_mvsg(history)) is None
+
+    def test_cycle_reported_with_members(self):
+        history = history_of(
+            HistoryTxn("t1", reads=((A, None),), writes=frozenset({B})),
+            HistoryTxn("t2", reads=((B, None),), writes=frozenset({A})),
+        )
+        cycle = find_cycle(build_mvsg(history))
+        assert cycle is not None
+        assert {"t1", "t2"} <= set(cycle)
+
+
+class TestSerialOrder:
+    def test_sentinel_removed(self):
+        history = history_of(HistoryTxn("r", reads=((A, None),)))
+        order = serial_order_from_graph(build_mvsg(history))
+        assert order == ["r"]
+
+    def test_topological(self):
+        history = history_of(
+            HistoryTxn("t1", writes=frozenset({A})),
+            HistoryTxn("t2", reads=((A, "t1"),), writes=frozenset({B})),
+            HistoryTxn("t3", reads=((B, "t2"),)),
+        )
+        order = serial_order_from_graph(build_mvsg(history))
+        assert order.index("t1") < order.index("t2") < order.index("t3")

@@ -1,0 +1,98 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationFinished
+from repro.sim.core import Simulator
+from repro.sim.env import Environment
+
+
+def make_event(env, on_fire):
+    event = env.event()
+    event.add_callback(on_fire)
+    return event
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_advances_to_event_time(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_run_until_advances_clock_even_when_queue_drains(self, env):
+        env.timeout(1.0)
+        env.run(until=100.0)
+        assert env.now == 100.0
+
+    def test_run_until_does_not_process_later_events(self, env):
+        fired = []
+        late = env.timeout(50.0)
+        late.add_callback(lambda e: fired.append(env.now))
+        env.run(until=10.0)
+        assert fired == []
+        env.run(until=60.0)
+        assert fired == [50.0]
+
+    def test_run_backwards_rejected(self, env):
+        env.timeout(5.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self, env):
+        order = []
+        for delay in [5.0, 1.0, 3.0]:
+            timeout = env.timeout(delay)
+            timeout.add_callback(lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_same_time_events_fire_in_scheduling_order(self, env):
+        order = []
+        for tag in "abcde":
+            timeout = env.timeout(2.0)
+            timeout.add_callback(lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == list("abcde")
+
+    def test_zero_delay_runs_after_current_callback(self, env):
+        order = []
+
+        def first(_event):
+            order.append("first")
+            inner = env.timeout(0.0)
+            inner.add_callback(lambda e: order.append("inner"))
+
+        env.timeout(1.0).add_callback(first)
+        env.timeout(1.0).add_callback(lambda e: order.append("second"))
+        env.run()
+        assert order == ["first", "second", "inner"]
+
+
+class TestStep:
+    def test_step_empty_queue_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationFinished):
+            sim.step()
+
+    def test_peek_reports_next_time(self, env):
+        env.timeout(7.5)
+        assert env.sim.peek() == 7.5
+
+    def test_peek_empty_is_infinite(self):
+        assert Simulator().peek() == float("inf")
+
+    def test_processed_event_counter(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert env.sim.processed_events == 2

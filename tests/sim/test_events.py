@@ -1,0 +1,151 @@
+"""Tests for Event, Timeout, AnyOf, AllOf."""
+
+import pytest
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEventLifecycle:
+    def test_pending_until_triggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed("payload")
+        assert event.triggered
+        assert event.ok
+        assert event.value == "payload"
+
+    def test_fail_carries_exception(self, env):
+        event = env.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+        with pytest.raises(RuntimeError):
+            event.fail(ValueError())
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+        with pytest.raises(RuntimeError):
+            _ = event.ok
+
+
+class TestCallbacks:
+    def test_callbacks_run_at_processing(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(11)
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == [11]
+
+    def test_late_callback_still_runs(self, env):
+        event = env.event()
+        event.succeed("x")
+        env.run()
+        assert event.processed
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["x"]
+
+    def test_multiple_callbacks_in_order(self, env):
+        event = env.event()
+        seen = []
+        for index in range(3):
+            event.add_callback(lambda e, i=index: seen.append(i))
+        event.succeed()
+        env.run()
+        assert seen == [0, 1, 2]
+
+
+class TestTimeout:
+    def test_fires_at_delay_with_value(self, env):
+        timeout = env.timeout(4.0, value="done")
+        fired = []
+        timeout.add_callback(lambda e: fired.append((env.now, e.value)))
+        env.run()
+        assert fired == [(4.0, "done")]
+
+    def test_cannot_be_triggered_manually(self, env):
+        timeout = env.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            timeout.succeed()
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            Timeout(env, -0.5)
+
+
+class TestAnyOf:
+    def test_fires_on_first_child(self, env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(5.0, value="slow")
+        condition = env.any_of([fast, slow])
+        fired = []
+        condition.add_callback(lambda e: fired.append((env.now, dict(e.value))))
+        env.run()
+        assert fired[0][0] == 1.0
+        assert fired[0][1] == {fast: "fast"}
+
+    def test_empty_condition_fires_immediately(self, env):
+        condition = env.any_of([])
+        env.run()
+        assert condition.triggered
+        assert condition.value == {}
+
+    def test_child_failure_fails_condition(self, env):
+        event = env.event()
+        condition = env.any_of([event, env.timeout(10.0)])
+        error = RuntimeError("child died")
+        event.fail(error)
+        results = []
+        condition.add_callback(lambda e: results.append((e.ok, e.value)))
+        env.run()
+        assert results == [(False, error)]
+
+
+class TestAllOf:
+    def test_waits_for_all_children(self, env):
+        first = env.timeout(1.0, value=1)
+        second = env.timeout(3.0, value=2)
+        condition = env.all_of([first, second])
+        fired = []
+        condition.add_callback(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [3.0]
+        assert condition.value == {first: 1, second: 2}
+
+    def test_mixed_environment_rejected(self, env):
+        from repro.sim.env import Environment
+
+        other = Environment(seed=1)
+        with pytest.raises(ValueError):
+            AllOf(env, [env.event(), other.event()])
+
+    def test_already_fired_children_counted(self, env):
+        done = env.event()
+        done.succeed("early")
+        env.run()
+        condition = AnyOf(env, [done])
+        env.run()
+        assert condition.triggered
+        assert condition.value == {done: "early"}

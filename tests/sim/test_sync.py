@@ -1,0 +1,71 @@
+"""Tests for the cooperative Lock."""
+
+import pytest
+
+from repro.sim.sync import Lock
+
+
+class TestLock:
+    def test_uncontended_acquire_is_immediate(self, env):
+        lock = Lock(env)
+        holder = []
+
+        def worker():
+            yield lock.acquire()
+            holder.append(env.now)
+            lock.release()
+
+        env.process(worker())
+        env.run()
+        assert holder == [0.0]
+        assert not lock.locked
+
+    def test_mutual_exclusion(self, env):
+        lock = Lock(env)
+        active = []
+        overlaps = []
+
+        def worker(name, hold):
+            yield lock.acquire()
+            if active:
+                overlaps.append((name, list(active)))
+            active.append(name)
+            yield env.timeout(hold)
+            active.remove(name)
+            lock.release()
+
+        for index in range(3):
+            env.process(worker(f"w{index}", 2.0))
+        env.run()
+        assert overlaps == []
+
+    def test_fifo_handoff(self, env):
+        lock = Lock(env)
+        order = []
+
+        def worker(name):
+            yield lock.acquire()
+            order.append(name)
+            yield env.timeout(1.0)
+            lock.release()
+
+        for name in ["first", "second", "third"]:
+            env.process(worker(name))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_unlocked_raises(self, env):
+        with pytest.raises(RuntimeError):
+            Lock(env).release()
+
+    def test_locked_property(self, env):
+        lock = Lock(env)
+
+        def worker():
+            yield lock.acquire()
+            assert lock.locked
+            lock.release()
+
+        env.process(worker())
+        env.run()
+        assert not lock.locked

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+    def test_protocol_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "2pc"])
+
+
+class TestRunCommand:
+    def test_prints_metrics_table(self, capsys):
+        code = main([
+            "run", "--transactions", "10", "--threads", "2",
+            "--rate", "10", "--attributes", "20", "--ops", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VVV/paxos-cp" in out
+        assert "commits" in out
+
+    def test_per_dc_prints_breakdown(self, capsys):
+        code = main([
+            "run", "--transactions", "6", "--threads", "1", "--rate", "20",
+            "--ops", "2", "--per-dc", "--cluster", "VOC",
+            "--protocol", "paxos",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per datacenter" in out
+        assert "V1" in out and "O" in out and "C" in out
+
+    def test_flags_reach_the_protocol(self, capsys):
+        code = main([
+            "run", "--transactions", "8", "--threads", "2", "--rate", "10",
+            "--ops", "4", "--no-fastpath", "--max-promotions", "0",
+            "--protocol", "paxos-cp",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r1:" not in out  # promotions capped at 0 → no round-1 commits
+
+
+class TestCheckCommand:
+    def test_clean_run_reports_ok(self, capsys):
+        code = main([
+            "check", "--transactions", "10", "--threads", "2",
+            "--rate", "10", "--ops", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MVSG 1SR: OK" in out
+
+    def test_check_survives_faults(self, capsys):
+        code = main([
+            "check", "--transactions", "10", "--threads", "2",
+            "--rate", "10", "--ops", "4",
+            "--loss", "0.1", "--duplicate", "0.2",
+        ])
+        assert code == 0
+
+
+class TestFigureCommand:
+    def test_scaled_down_figure_runs(self, capsys):
+        code = main(["figure", "figure8", "--transactions", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== Figure 8 ==" in out
+        assert "paper:" in out

@@ -1,0 +1,91 @@
+"""Tests for the shared data model."""
+
+from repro.model import (
+    AbortReason,
+    Transaction,
+    TransactionOutcome,
+    TransactionStatus,
+    is_serializable_sequence,
+    union_write_set,
+)
+from tests.helpers import txn
+
+
+class TestTransaction:
+    def test_write_set_derived_from_writes(self):
+        t = txn("t", writes={"a": 1, "b": 2})
+        assert t.write_set == {("row0", "a"), ("row0", "b")}
+
+    def test_duplicate_item_writes_keep_order(self):
+        t = Transaction(
+            tid="t", group="g", read_set=frozenset(),
+            writes=((("r", "a"), 1), (("r", "a"), 2)),
+            read_position=0,
+        )
+        assert t.write_image() == {"r": {"a": 2}}  # last write wins
+
+    def test_multi_row_write_image(self):
+        t = Transaction(
+            tid="t", group="g", read_set=frozenset(),
+            writes=((("r1", "a"), 1), (("r2", "b"), 2)),
+            read_position=0,
+        )
+        assert t.write_image() == {"r1": {"a": 1}, "r2": {"b": 2}}
+
+    def test_read_only_detection(self):
+        assert txn("t", reads={"a": 0}).is_read_only
+        assert not txn("t", reads={"a": 0}, writes={"b": 1}).is_read_only
+
+    def test_reads_from_is_directional(self):
+        reader = txn("r", reads={"x": 0})
+        writer = txn("w", writes={"x": 1})
+        assert reader.reads_from(writer)
+        assert not writer.reads_from(reader)
+        assert not reader.reads_from(reader)
+
+    def test_str_is_tid(self):
+        assert str(txn("t42")) == "t42"
+
+
+class TestSequencePredicates:
+    def test_empty_sequence_serializable(self):
+        assert is_serializable_sequence([])
+
+    def test_single_transaction_serializable(self):
+        assert is_serializable_sequence([txn("t", reads={"a": 0}, writes={"a": 1})])
+
+    def test_chain_of_three_with_one_conflict(self):
+        ok = [
+            txn("t1", writes={"a": 1}),
+            txn("t2", reads={"b": 0}, writes={"c": 1}),
+            txn("t3", reads={"c": 0}),  # reads what t2 wrote → invalid
+        ]
+        assert not is_serializable_sequence(ok)
+        assert is_serializable_sequence([ok[2], ok[1], ok[0]])
+
+    def test_union_write_set_empty(self):
+        assert union_write_set([]) == frozenset()
+
+
+class TestOutcome:
+    def test_latency(self):
+        outcome = TransactionOutcome(
+            transaction=txn("t", writes={"a": 1}),
+            status=TransactionStatus.COMMITTED,
+            begin_time=10.0, end_time=35.5,
+        )
+        assert outcome.latency_ms == 25.5
+        assert outcome.committed
+
+    def test_aborted_outcome(self):
+        outcome = TransactionOutcome(
+            transaction=txn("t", writes={"a": 1}),
+            status=TransactionStatus.ABORTED,
+            abort_reason=AbortReason.PROMOTION_CONFLICT,
+        )
+        assert not outcome.committed
+        assert str(outcome.abort_reason) == "promotion_conflict"
+
+    def test_status_strings(self):
+        assert str(TransactionStatus.COMMITTED) == "committed"
+        assert str(TransactionStatus.ABORTED) == "aborted"

@@ -1,0 +1,104 @@
+"""Tests for log entries and the combination validity rule."""
+
+import pytest
+
+from repro.model import is_serializable_sequence, union_write_set
+from repro.wal.entry import LogEntry
+from tests.helpers import txn
+
+
+class TestModelPredicates:
+    def test_reads_from_detects_read_write_overlap(self):
+        reader = txn("t1", reads={"a": 1})
+        writer = txn("t2", writes={"a": 2})
+        assert reader.reads_from(writer)
+        assert not writer.reads_from(reader)
+
+    def test_write_write_overlap_is_not_reads_from(self):
+        first = txn("t1", writes={"a": 1})
+        second = txn("t2", writes={"a": 2})
+        assert not first.reads_from(second)
+        assert not second.reads_from(first)
+
+    def test_is_serializable_sequence_accepts_disjoint(self):
+        assert is_serializable_sequence([
+            txn("t1", reads={"a": 1}, writes={"b": 1}),
+            txn("t2", reads={"c": 1}, writes={"d": 1}),
+        ])
+
+    def test_is_serializable_sequence_rejects_read_after_write(self):
+        assert not is_serializable_sequence([
+            txn("t1", writes={"a": 1}),
+            txn("t2", reads={"a": 0}),
+        ])
+
+    def test_is_serializable_sequence_accepts_write_after_read(self):
+        # t2 writes what t1 read: fine, t1 read the pre-state.
+        assert is_serializable_sequence([
+            txn("t1", reads={"a": 0}),
+            txn("t2", writes={"a": 1}),
+        ])
+
+    def test_union_write_set(self):
+        items = union_write_set([
+            txn("t1", writes={"a": 1}),
+            txn("t2", writes={"b": 1}),
+        ])
+        assert items == {("row0", "a"), ("row0", "b")}
+
+    def test_read_only_flag(self):
+        assert txn("t1", reads={"a": 1}).is_read_only
+        assert not txn("t2", writes={"a": 1}).is_read_only
+
+    def test_write_image_groups_by_row(self):
+        t = txn("t1", writes={"a": 1, "b": 2})
+        assert t.write_image() == {"row0": {"a": 1, "b": 2}}
+
+
+class TestLogEntry:
+    def test_must_contain_a_transaction(self):
+        with pytest.raises(ValueError):
+            LogEntry(transactions=())
+
+    def test_single(self):
+        t = txn("t1", writes={"a": 1})
+        e = LogEntry.single(t)
+        assert e.tids == ("t1",)
+        assert e.contains("t1")
+        assert not e.contains("t2")
+
+    def test_combined_validates_rule(self):
+        good = LogEntry.combined([
+            txn("t1", writes={"a": 1}),
+            txn("t2", reads={"b": 0}, writes={"c": 1}),
+        ])
+        assert len(good) == 2
+        with pytest.raises(ValueError):
+            LogEntry.combined([
+                txn("t1", writes={"a": 1}),
+                txn("t2", reads={"a": 0}),
+            ])
+
+    def test_write_image_later_members_win(self):
+        e = LogEntry.combined([
+            txn("t1", writes={"a": 1, "b": 1}),
+            txn("t2", writes={"a": 2}),
+        ])
+        assert e.write_image() == {"row0": {"a": 2, "b": 1}}
+
+    def test_union_write_set(self):
+        e = LogEntry.combined([
+            txn("t1", writes={"a": 1}),
+            txn("t2", writes={"b": 2}),
+        ])
+        assert e.union_write_set() == {("row0", "a"), ("row0", "b")}
+
+    def test_entries_compare_by_content(self):
+        t = txn("t1", writes={"a": 1})
+        assert LogEntry.single(t) == LogEntry.single(t)
+        assert LogEntry.single(t) != LogEntry.single(txn("t2", writes={"a": 1}))
+
+    def test_iteration_order(self):
+        members = [txn("t1", writes={"a": 1}), txn("t2", writes={"b": 1})]
+        e = LogEntry.combined(members)
+        assert list(e) == members

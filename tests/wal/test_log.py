@@ -1,0 +1,104 @@
+"""Tests for the per-datacenter log replica view."""
+
+import pytest
+
+from repro.kvstore.store import MultiVersionStore
+from repro.wal.log import LogReplica, data_row_key, paxos_row_key
+from tests.helpers import entry, txn
+
+
+@pytest.fixture
+def replica():
+    return LogReplica(MultiVersionStore("log-test"), "g")
+
+
+class TestChosenEntries:
+    def test_empty_log(self, replica):
+        assert replica.chosen_entry(1) is None
+        assert not replica.is_chosen(1)
+        assert replica.read_position() == 0
+
+    def test_record_and_read_back(self, replica):
+        e = entry(txn("t1", writes={"a": 1}))
+        replica.record_chosen(1, e)
+        assert replica.chosen_entry(1) == e
+        assert replica.is_chosen(1)
+
+    def test_record_chosen_idempotent(self, replica):
+        e = entry(txn("t1", writes={"a": 1}))
+        replica.record_chosen(1, e)
+        replica.record_chosen(1, e)  # no RowVersionError
+        assert replica.chosen_entry(1) == e
+
+    def test_read_position_is_last_contiguous(self, replica):
+        replica.record_chosen(1, entry(txn("t1", writes={"a": 1})))
+        replica.record_chosen(2, entry(txn("t2", writes={"a": 2})))
+        replica.record_chosen(4, entry(txn("t4", writes={"a": 4})))
+        assert replica.read_position() == 2  # gap at 3
+
+    def test_max_chosen_position_sees_past_gaps(self, replica):
+        replica.record_chosen(1, entry(txn("t1", writes={"a": 1})))
+        replica.record_chosen(4, entry(txn("t4", writes={"a": 4})))
+        assert replica.max_chosen_position() == 4
+
+    def test_entries_lists_all_chosen(self, replica):
+        first = entry(txn("t1", writes={"a": 1}))
+        second = entry(txn("t2", writes={"a": 2}))
+        replica.record_chosen(1, first)
+        replica.record_chosen(2, second)
+        assert replica.entries() == {1: first, 2: second}
+
+    def test_unchosen_paxos_rows_not_listed(self, replica):
+        # Simulate an acceptor vote without a decision.
+        replica.store.write(paxos_row_key("g", 1), {"nextBal": "x"})
+        assert replica.entries() == {}
+
+
+class TestApplication:
+    def test_apply_entry_writes_data_rows_at_position(self, replica):
+        replica.record_chosen(1, entry(txn("t1", writes={"a": 10})))
+        replica.apply_through(1)
+        assert replica.applied_through == 1
+        value = replica.store.read_attribute(data_row_key("g", "row0"), "a",
+                                             timestamp=1)
+        assert value == 10
+
+    def test_apply_through_applies_in_order(self, replica):
+        replica.record_chosen(1, entry(txn("t1", writes={"a": 1})))
+        replica.record_chosen(2, entry(txn("t2", writes={"a": 2})))
+        replica.apply_through(2)
+        assert replica.read_data("row0", "a", position=1) == 1
+        assert replica.read_data("row0", "a", position=2) == 2
+
+    def test_combined_entry_applies_merged_image(self, replica):
+        replica.record_chosen(1, entry(
+            txn("t1", writes={"a": 1, "b": 1}),
+            txn("t2", writes={"a": 2}),
+        ))
+        replica.apply_through(1)
+        assert replica.read_data("row0", "a", position=1) == 2
+        assert replica.read_data("row0", "b", position=1) == 1
+
+    def test_pending_application_gap_raises(self, replica):
+        replica.record_chosen(2, entry(txn("t2", writes={"a": 2})))
+        with pytest.raises(LookupError):
+            list(replica.pending_applications(2))
+
+    def test_mark_applied_requires_order(self, replica):
+        with pytest.raises(ValueError):
+            replica.mark_applied(2)
+
+    def test_read_data_beyond_applied_raises(self, replica):
+        with pytest.raises(LookupError):
+            replica.read_data("row0", "a", position=1)
+
+    def test_read_data_default_when_never_written(self, replica):
+        replica.record_chosen(1, entry(txn("t1", writes={"a": 1})))
+        replica.apply_through(1)
+        assert replica.read_data("row0", "zz", position=1, default="d") == "d"
+
+    def test_preloaded_data_visible_at_position_zero_reads(self, replica):
+        replica.store.write(data_row_key("g", "row0"), {"a": "init"}, timestamp=0)
+        replica.record_chosen(1, entry(txn("t1", writes={"b": 1})))
+        replica.apply_through(1)
+        assert replica.read_data("row0", "a", position=1) == "init"

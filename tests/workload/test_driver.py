@@ -1,0 +1,127 @@
+"""Tests for the workload driver."""
+
+from repro.config import WorkloadConfig
+from repro.model import AbortReason
+from repro.workload.driver import WorkloadDriver
+from tests.conftest import make_cluster
+
+GROUP = "group-0"
+
+
+def small_workload(**overrides):
+    defaults = dict(
+        n_transactions=12, ops_per_transaction=4, n_attributes=20,
+        n_threads=3, target_rate_per_thread=10.0, stagger_ms=10.0,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestDriver:
+    def test_runs_exact_transaction_budget(self):
+        cluster = make_cluster()
+        driver = WorkloadDriver(cluster, small_workload(), "paxos-cp")
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        assert driver.done
+        assert len(driver.result.outcomes) == 12
+        assert driver.result.commits + driver.result.aborts == 12
+
+    def test_budget_split_across_threads(self):
+        cluster = make_cluster()
+        driver = WorkloadDriver(cluster, small_workload(n_transactions=7,
+                                                        n_threads=3), "paxos")
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        assert len(driver.result.outcomes) == 7
+        clients = {o.transaction.origin for o in driver.result.outcomes
+                   if o.transaction.origin}
+        assert len(clients) == 3
+
+    def test_staggered_starts(self):
+        cluster = make_cluster()
+        driver = WorkloadDriver(cluster, small_workload(stagger_ms=100.0),
+                                "paxos")
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        by_client = {}
+        for outcome in driver.result.outcomes:
+            by_client.setdefault(outcome.transaction.origin, []).append(
+                outcome.begin_time
+            )
+        first_starts = sorted(min(times) for times in by_client.values())
+        assert first_starts[1] - first_starts[0] >= 90.0
+
+    def test_rate_cap_spaces_transactions(self):
+        cluster = make_cluster()
+        driver = WorkloadDriver(
+            cluster,
+            small_workload(n_transactions=4, n_threads=1,
+                           target_rate_per_thread=1.0),
+            "paxos",
+        )
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        starts = sorted(o.begin_time for o in driver.result.outcomes)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(gap >= 700.0 for gap in gaps)  # ~1/s with 20% jitter
+
+    def test_unavailable_services_recorded_not_raised(self):
+        cluster = make_cluster()
+        for dc in cluster.topology.names:
+            cluster.services[dc].node.down = True
+        driver = WorkloadDriver(
+            cluster, small_workload(n_transactions=2, n_threads=1), "paxos"
+        )
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        assert len(driver.result.outcomes) == 2
+        assert all(
+            o.abort_reason is AbortReason.SERVICE_UNAVAILABLE
+            for o in driver.result.outcomes
+        )
+
+    def test_per_datacenter_instances(self):
+        cluster = make_cluster("VOC")
+        drivers = WorkloadDriver.per_datacenter(
+            cluster, small_workload(n_transactions=6), "paxos-cp"
+        )
+        drivers[0].install_data()
+        for driver in drivers:
+            driver.start()
+        cluster.run()
+        assert [d.result.datacenter for d in drivers] == ["V1", "O", "C"]
+        assert all(len(d.result.outcomes) == 6 for d in drivers)
+
+    def test_write_values_globally_unique(self):
+        cluster = make_cluster()
+        driver = WorkloadDriver(cluster, small_workload(), "paxos-cp")
+        driver.install_data()
+        driver.start()
+        cluster.run()
+        values = [
+            value
+            for outcome in driver.result.outcomes
+            for _item, value in outcome.transaction.writes
+        ]
+        assert len(values) == len(set(values))
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            cluster = make_cluster(seed=seed)
+            driver = WorkloadDriver(cluster, small_workload(), "paxos-cp")
+            driver.install_data()
+            driver.start()
+            cluster.run()
+            return [
+                (o.transaction.tid, o.status.value, o.end_time)
+                for o in driver.result.outcomes
+            ]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

@@ -1,0 +1,108 @@
+"""Tests for the YCSB-style generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.workload.ycsb import Operation, YcsbWorkload, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_rank_zero_most_popular(self):
+        generator = ZipfianGenerator(50, theta=0.99)
+        rng = random.Random(0)
+        counts = Counter(generator.next(rng) for _ in range(5000))
+        assert counts[0] == max(counts.values())
+        assert counts[0] > counts.get(25, 0)
+
+    def test_all_draws_in_range(self):
+        generator = ZipfianGenerator(10)
+        rng = random.Random(1)
+        assert all(0 <= generator.next(rng) < 10 for _ in range(1000))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestWorkloadGeneration:
+    def make(self, **overrides):
+        config = WorkloadConfig(**overrides)
+        return YcsbWorkload(config, random.Random(7)), config
+
+    def test_initial_rows_cover_all_attributes(self):
+        workload, config = self.make(n_attributes=5, n_rows=2)
+        rows = workload.initial_rows()
+        assert set(rows) == {"row0", "row1"}
+        for attributes in rows.values():
+            assert len(attributes) == 5
+
+    def test_transaction_length(self):
+        workload, config = self.make(ops_per_transaction=10)
+        ops = workload.next_transaction()
+        assert len(ops) == 10
+        assert all(isinstance(op, Operation) for op in ops)
+
+    def test_read_fraction_respected(self):
+        workload, _ = self.make(read_fraction=0.5)
+        kinds = Counter(
+            op.kind for _ in range(200) for op in workload.next_transaction()
+        )
+        total = kinds["read"] + kinds["write"]
+        assert 0.45 < kinds["read"] / total < 0.55
+
+    def test_read_only_fraction_at_extremes(self):
+        all_reads, _ = self.make(read_fraction=1.0)
+        assert all(op.kind == "read" for op in all_reads.next_transaction())
+        all_writes, _ = self.make(read_fraction=0.0)
+        assert all(op.kind == "write" for op in all_writes.next_transaction())
+
+    def test_attributes_within_configured_range(self):
+        workload, config = self.make(n_attributes=20)
+        for _ in range(50):
+            for op in workload.next_transaction():
+                index = int(op.attribute[1:])
+                assert 0 <= index < 20
+
+    def test_uniform_distribution_spreads(self):
+        workload, _ = self.make(n_attributes=10)
+        counts = Counter(
+            op.attribute for _ in range(300) for op in workload.next_transaction()
+        )
+        assert len(counts) == 10
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_zipfian_distribution_skews(self):
+        workload, _ = self.make(n_attributes=10, distribution="zipfian")
+        counts = Counter(
+            op.attribute for _ in range(300) for op in workload.next_transaction()
+        )
+        assert counts.most_common(1)[0][0] == "a0"
+
+    def test_deterministic_for_seeded_rng(self):
+        first = YcsbWorkload(WorkloadConfig(), random.Random(3))
+        second = YcsbWorkload(WorkloadConfig(), random.Random(3))
+        assert first.next_transaction() == second.next_transaction()
+
+
+class TestConfigValidation:
+    def test_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(read_fraction=1.5)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(ops_per_transaction=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_attributes=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_threads=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(target_rate_per_thread=0)
+
+    def test_interarrival(self):
+        assert WorkloadConfig(target_rate_per_thread=2.0).mean_interarrival_ms == 500.0
