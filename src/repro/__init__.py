@@ -40,12 +40,14 @@ Quickstart::
 from repro.cluster import Cluster
 from repro.config import (
     ClusterConfig,
+    PlacementConfig,
     ProtocolConfig,
     StoreConfig,
     WorkloadConfig,
 )
 from repro.core.client import TransactionClient, TransactionHandle
 from repro.errors import (
+    CrossGroupTransaction,
     QuorumTimeout,
     ReproError,
     ServiceUnavailable,
@@ -55,6 +57,7 @@ from repro.errors import (
 from repro.failures import FailureInjector
 from repro.model import (
     AbortReason,
+    Placement,
     Transaction,
     TransactionOutcome,
     TransactionStatus,
@@ -67,7 +70,10 @@ __all__ = [
     "AbortReason",
     "Cluster",
     "ClusterConfig",
+    "CrossGroupTransaction",
     "FailureInjector",
+    "Placement",
+    "PlacementConfig",
     "ProtocolConfig",
     "QuorumTimeout",
     "ReproError",

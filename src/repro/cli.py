@@ -23,7 +23,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import ClusterConfig, ProtocolConfig, StoreConfig, WorkloadConfig
+from repro.config import (
+    ClusterConfig,
+    PlacementConfig,
+    ProtocolConfig,
+    StoreConfig,
+    WorkloadConfig,
+)
 from repro.harness.experiment import ExperimentSpec, run_cell
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import format_cells, format_comparison, format_per_instance
@@ -49,6 +55,15 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="message duplication probability")
     parser.add_argument("--per-dc", action="store_true",
                         help="one workload instance per datacenter (Figure 8 style)")
+    parser.add_argument("--groups", type=int, default=1,
+                        help="number of entity groups, each with its own "
+                             "replicated log (default 1, the paper's setup)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="total rows across all groups (default: 1, or "
+                             "one per group when --groups > 1)")
+    parser.add_argument("--group-distribution", default="uniform",
+                        choices=["uniform", "zipfian"],
+                        help="how multi-group transactions pick their group")
     parser.add_argument("--no-fastpath", action="store_true",
                         help="disable the per-position leader optimization")
     parser.add_argument("--max-promotions", type=int, default=None,
@@ -60,22 +75,40 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         leader_fastpath=not args.no_fastpath,
         max_promotions=args.max_promotions,
     )
+    n_groups = args.groups
+    if n_groups < 1:
+        raise SystemExit(f"error: --groups must be >= 1, got {n_groups}")
+    n_rows = args.rows if args.rows is not None else max(1, n_groups)
+    if n_rows < n_groups:
+        raise SystemExit(
+            f"error: --rows ({n_rows}) must be >= --groups ({n_groups}) so "
+            f"every group owns at least one row"
+        )
+    # Range assignment over the numbered row space guarantees every group
+    # owns at least one row.
+    placement = PlacementConfig.ranged(n_groups, key_universe=n_rows)
+    name = f"{args.cluster}/{args.protocol}"
+    if n_groups > 1:
+        name += f"/{n_groups}g"
     return ExperimentSpec(
-        name=f"{args.cluster}/{args.protocol}",
+        name=name,
         cluster=ClusterConfig(
             cluster_code=args.cluster,
             loss_probability=args.loss,
             duplicate_probability=args.duplicate,
             store=StoreConfig(),
             protocol=protocol_config,
+            placement=placement,
         ),
         workload=WorkloadConfig(
             n_transactions=args.transactions,
             ops_per_transaction=args.ops,
             n_attributes=args.attributes,
+            n_rows=n_rows,
             n_threads=args.threads,
             target_rate_per_thread=args.rate,
             read_fraction=args.read_fraction,
+            group_distribution=args.group_distribution,
         ),
         protocol=args.protocol,
         per_datacenter_instances=args.per_dc,

@@ -29,7 +29,7 @@ from repro.core.leased_leader import install_leased_leader
 from repro.core.service import TransactionService
 from repro.kvstore.service import StoreAccessor, StoreLatencyModel
 from repro.kvstore.store import MultiVersionStore
-from repro.model import Item, TransactionOutcome
+from repro.model import Item, Placement, TransactionOutcome
 from repro.net.latency import RttMatrixLatency
 from repro.net.network import Network
 from repro.net.topology import Topology, cluster_preset
@@ -63,10 +63,11 @@ class Cluster:
             duplicate_probability=self.config.duplicate_probability,
         )
         self.home_dc = self.topology.names[0]
+        self.placement = Placement(self.config.placement)
         self.stores: dict[str, MultiVersionStore] = {}
         self.services: dict[str, TransactionService] = {}
         self._client_counters: dict[str, int] = {}
-        self._initial_image: dict[Item, Any] = {}
+        self._initial_images: dict[str, dict[Item, Any]] = {}
         self._groups: set[str] = set()
 
         store_latency = StoreLatencyModel(
@@ -95,15 +96,21 @@ class Cluster:
         """Install initial data in every datacenter at timestamp 0.
 
         Also remembered as the initial image the serializability checkers
-        replay from.
+        replay from (per group: row names may repeat across groups).
         """
         self._groups.add(group)
+        image = self._initial_images.setdefault(group, {})
         for dc, store in self.stores.items():
             for row, attributes in rows.items():
                 store.write(data_row_key(group, row), dict(attributes), timestamp=0)
         for row, attributes in rows.items():
             for attribute, value in attributes.items():
-                self._initial_image[(row, attribute)] = value
+                image[(row, attribute)] = value
+
+    def preload_placed(self, rows: Mapping[str, Mapping[str, Any]]) -> None:
+        """Preload *rows*, routing each row to its group via the placement."""
+        for group, group_rows in self.placement.place_rows(rows).items():
+            self.preload(group, group_rows)
 
     def add_client(
         self,
@@ -123,6 +130,10 @@ class Cluster:
             config=self.config.protocol,
             protocol=protocol,
             home_dc=self.home_dc,
+            # Only multi-group deployments hand clients the placement: the
+            # single-group API admits arbitrary group names ("accounts"),
+            # which a 1-group placement would spuriously reject.
+            placement=self.placement if self.placement.n_groups > 1 else None,
         )
 
     # ------------------------------------------------------------------
@@ -135,7 +146,21 @@ class Cluster:
 
     @property
     def initial_image(self) -> dict[Item, Any]:
-        return dict(self._initial_image)
+        """The merged initial image across all groups (legacy single-group
+        view; use :meth:`initial_image_for` when groups share row names)."""
+        merged: dict[Item, Any] = {}
+        for image in self._initial_images.values():
+            merged.update(image)
+        return merged
+
+    def initial_image_for(self, group: str) -> dict[Item, Any]:
+        """The initial image one group's serializability checks replay from."""
+        return dict(self._initial_images.get(group, {}))
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Every entity group this cluster has data for, sorted by name."""
+        return tuple(sorted(self._groups))
 
     def replicas(self, group: str) -> list[LogReplica]:
         """Every datacenter's log replica for *group*."""
@@ -189,11 +214,16 @@ class Cluster:
                 replica.record_chosen(position, entry)
         return {pos: entry for pos, entry in sorted(decided.items())}
 
+    def finalize_all(self) -> dict[str, dict[int, LogEntry]]:
+        """:meth:`finalize` every group; returns ``{group: global log}``."""
+        return {group: self.finalize(group) for group in self.groups}
+
     def check_invariants(
         self,
         group: str,
         outcomes: list[TransactionOutcome],
         strict_timeouts: bool = False,
+        finalized: bool = False,
     ) -> None:
         """Run every §3 correctness check; raise on any violation.
 
@@ -202,10 +232,14 @@ class Cluster:
         in the log" side: the paper explicitly allows a transaction whose
         client failed mid-protocol to be committed or aborted (§4.1), and a
         timed-out client is indistinguishable from a failed one.
+
+        ``finalized=True`` skips the :meth:`finalize` pass for callers that
+        already ran it (it rescans every replica's Paxos key space).
         """
         from repro.model import AbortReason, TransactionStatus
 
-        self.finalize(group)
+        if not finalized:
+            self.finalize(group)
         replicas = self.replicas(group)
         considered = outcomes
         if not strict_timeouts:
@@ -221,11 +255,57 @@ class Cluster:
                     and outcome.abort_reason in lenient
                 )
             ]
-        run_all_checks(replicas, considered, self._initial_image)
+        image = self._initial_images.get(group, {})
+        run_all_checks(replicas, considered, image)
         # Independent oracle: the MVSG test over the observed history.
-        history = MVHistory.from_log(global_log(replicas), self._initial_image)
+        history = MVHistory.from_log(global_log(replicas), image)
         ok, cycle = is_one_copy_serializable(history)
         if not ok:
             raise InvariantViolation(
                 [f"MVSG test failed: cycle {cycle} in the observed history"]
+            )
+
+    def check_invariants_all(
+        self,
+        outcomes: list[TransactionOutcome],
+        strict_timeouts: bool = False,
+        logs: dict[str, dict[int, LogEntry]] | None = None,
+    ) -> None:
+        """Run :meth:`check_invariants` over every group.
+
+        Outcomes are routed to their transaction's group; each group's log
+        must independently satisfy (R1), (L1)-(L3), read-only consistency,
+        and the MVSG oracle.  On top of the per-group checks, no transaction
+        may appear in more than one group's log — group logs are disjoint
+        position sequences, never interleaved.
+
+        ``logs`` lets a caller that already ran :meth:`finalize_all` reuse
+        its result instead of rescanning every replica's Paxos key space;
+        any group missing from it is finalized here.
+        """
+        by_group: dict[str, list[TransactionOutcome]] = {
+            group: [] for group in self.groups
+        }
+        for outcome in outcomes:
+            by_group.setdefault(outcome.transaction.group, []).append(outcome)
+        logs = dict(logs or {})
+        for group in sorted(by_group):
+            if group not in logs:
+                logs[group] = self.finalize(group)
+        seen_tids: dict[str, str] = {}
+        cross_group: list[str] = []
+        for group, log in logs.items():
+            for position, entry in log.items():
+                for txn in entry.transactions:
+                    # Intra-group duplicates are (L2)'s job, with positions.
+                    if seen_tids.setdefault(txn.tid, group) != group:
+                        cross_group.append(
+                            f"(groups) {txn.tid} is logged in both "
+                            f"{seen_tids[txn.tid]} and {group}"
+                        )
+        if cross_group:
+            raise InvariantViolation(cross_group)
+        for group, group_outcomes in sorted(by_group.items()):
+            self.check_invariants(
+                group, group_outcomes, strict_timeouts, finalized=True
             )

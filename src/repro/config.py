@@ -14,6 +14,68 @@ from typing import Literal
 #: Which commit protocol a client runs.
 ProtocolName = Literal["paxos", "paxos-cp", "leased-leader"]
 
+#: How the key space is carved into entity groups.
+GroupAssignment = Literal["hash", "range"]
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """How the datastore is partitioned into entity groups (§2, §4).
+
+    "The datastore is partitioned into entity groups, and each group has its
+    own transaction log."  The placement maps every row key to exactly one
+    group; each group then gets an independent replicated log, Paxos
+    instance sequence, leader-claim table, and applied watermark.
+
+    Attributes
+    ----------
+    n_groups:
+        Number of entity groups.  1 reproduces the paper's evaluation setup
+        (a single group) and keeps the legacy single-group API unchanged.
+    assignment:
+        ``"hash"`` routes a key by a stable hash of its name (CRC-32), which
+        balances arbitrary key sets; ``"range"`` splits a numbered key space
+        (``row0`` … ``row{key_universe-1}``) into ``n_groups`` contiguous
+        blocks, which guarantees every group is non-empty whenever
+        ``key_universe >= n_groups``.
+    key_universe:
+        Size of the numbered key space range assignment splits.  Required
+        when ``assignment == "range"``.
+    group_prefix:
+        Group names are ``f"{group_prefix}{index}"`` (``group-0`` …).
+    """
+
+    n_groups: int = 1
+    assignment: GroupAssignment = "hash"
+    key_universe: int | None = None
+    group_prefix: str = "group-"
+
+    def __post_init__(self) -> None:
+        if self.n_groups <= 0:
+            raise ValueError(f"need at least one group, got {self.n_groups}")
+        if self.assignment == "range":
+            if self.key_universe is None:
+                raise ValueError("range assignment requires key_universe")
+            if self.key_universe < self.n_groups:
+                raise ValueError(
+                    f"range assignment needs key_universe >= n_groups "
+                    f"({self.key_universe} < {self.n_groups})"
+                )
+
+    @classmethod
+    def ranged(cls, n_groups: int, key_universe: int | None = None) -> "PlacementConfig":
+        """Range-sharded placement over a numbered key space of
+        *key_universe* rows (default: one row per group).  ``n_groups <= 1``
+        returns the default single-group placement, so callers can shard
+        conditionally without branching."""
+        if n_groups <= 1:
+            return cls()
+        return cls(
+            n_groups=n_groups,
+            assignment="range",
+            key_universe=key_universe if key_universe is not None else n_groups,
+        )
+
 
 @dataclass(frozen=True)
 class ProtocolConfig:
@@ -103,6 +165,7 @@ class ClusterConfig:
     jitter: float = 0.08
     store: StoreConfig = field(default_factory=StoreConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
 
     @property
     def n_datacenters(self) -> int:
@@ -130,6 +193,11 @@ class WorkloadConfig:
     distribution: Literal["uniform", "zipfian"] = "uniform"
     zipfian_theta: float = 0.99
     group: str = "group-0"
+    #: How a multi-group workload picks the entity group of each transaction
+    #: (only consulted when the driver runs against a placement with more
+    #: than one group; ``group`` above names the single-group target).
+    group_distribution: Literal["uniform", "zipfian"] = "uniform"
+    group_zipfian_theta: float = 0.99
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:

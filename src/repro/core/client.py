@@ -24,10 +24,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.config import ProtocolConfig, ProtocolName
-from repro.errors import ServiceUnavailable, TransactionStateError
+from repro.errors import (
+    CrossGroupTransaction,
+    ServiceUnavailable,
+    TransactionStateError,
+)
 from repro.model import (
     AbortReason,
     Item,
+    Placement,
     Transaction,
     TransactionOutcome,
     TransactionStatus,
@@ -114,6 +119,7 @@ class TransactionClient:
         config: ProtocolConfig,
         protocol: ProtocolName = "paxos",
         home_dc: str | None = None,
+        placement: Placement | None = None,
     ) -> None:
         self.env = env
         self.datacenter = datacenter
@@ -123,6 +129,7 @@ class TransactionClient:
         self.home_dc = home_dc or self.datacenters[0]
         self.protocol_name = protocol
         self.protocol = self._make_protocol(protocol)
+        self.placement = placement
         self._txn_counter = 0
 
     def _make_protocol(self, protocol: ProtocolName):
@@ -157,15 +164,50 @@ class TransactionClient:
         return service_name(datacenter)
 
     # ------------------------------------------------------------------
+    # Group routing
+    # ------------------------------------------------------------------
+
+    def group_for(self, row: str) -> str:
+        """The entity group row *row* routes to under the deployment's
+        placement."""
+        if self.placement is None:
+            raise TransactionStateError(
+                "group_for: this client has no placement (single-group deployment)"
+            )
+        return self.placement.group_of(row)
+
+    def _check_group(self, handle: TransactionHandle, row: str) -> None:
+        """Reject operations that would leave the transaction's group.
+
+        Transactions are scoped to one entity group (§2); when the client
+        knows the deployment's placement, an operation on a row that routes
+        elsewhere fails fast with a typed error instead of silently reading
+        or writing another group's log.
+        """
+        if self.placement is None:
+            return
+        row_group = self.placement.group_of(row)
+        if row_group != handle.group:
+            raise CrossGroupTransaction(handle.group, row, row_group)
+
+    # ------------------------------------------------------------------
     # Transaction API (§2.2)
     # ------------------------------------------------------------------
 
-    def begin(self, group: str) -> Generator:
+    def begin(self, group: str | None = None, *, key: str | None = None) -> Generator:
         """Start a transaction; returns a :class:`TransactionHandle`.
 
-        Contacts the local Transaction Service for the read position; if it
-        does not answer, tries the other datacenters in order (§4 step 1).
+        The target group may be named directly (*group*) or derived from a
+        row key (*key*) via the deployment's placement — exactly one of the
+        two must be given.  Contacts the local Transaction Service for the
+        read position; if it does not answer, tries the other datacenters in
+        order (§4 step 1).
         """
+        if (group is None) == (key is None):
+            raise TransactionStateError("begin: pass exactly one of group or key")
+        if group is None:
+            assert key is not None
+            group = self.group_for(key)
         begin_time = self.env.now
         request = BeginRequest(group=group)
         for svc in self.service_names():
@@ -189,6 +231,7 @@ class TransactionClient:
         at ``handle.read_position`` (A2) and records it in the read set.
         """
         self._require_active(handle)
+        self._check_group(handle, row)
         item: Item = (row, attribute)
         if handle.buffered(item):
             return handle.write_buffer[item]
@@ -212,6 +255,7 @@ class TransactionClient:
     def write(self, handle: TransactionHandle, row: str, attribute: str, value: Any) -> None:
         """Buffer one write locally (§4 step 3); no messages are sent."""
         self._require_active(handle)
+        self._check_group(handle, row)
         item: Item = (row, attribute)
         handle.write_buffer[item] = value
         handle.write_order.append((item, value))

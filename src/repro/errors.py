@@ -127,6 +127,28 @@ class TransactionStateError(TransactionError):
     """The transaction API was used out of order (e.g. read before begin)."""
 
 
+class CrossGroupTransaction(TransactionError):
+    """A transaction touched a row outside its entity group.
+
+    The paper's transactions live entirely within one entity group; a read
+    or write whose row routes (via the deployment's
+    :class:`~repro.model.Placement`) to a different group than the one the
+    transaction began on is a programming error, reported before any
+    message is sent.  Cross-group atomicity (Megastore-style two-phase
+    commit or queues) is future work — see ROADMAP.md.
+    """
+
+    def __init__(self, handle_group: str, row: str, row_group: str) -> None:
+        super().__init__(
+            f"transaction on group {handle_group!r} touched row {row!r}, "
+            f"which belongs to group {row_group!r}; transactions must stay "
+            f"within one entity group"
+        )
+        self.handle_group = handle_group
+        self.row = row
+        self.row_group = row_group
+
+
 class QuorumTimeout(TransactionError):
     """A protocol phase failed to gather a majority before the timeout."""
 

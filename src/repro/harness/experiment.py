@@ -60,7 +60,13 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
     """Execute one cell once with one seed."""
     cluster = Cluster(replace(spec.cluster, seed=seed))
     if spec.per_datacenter_instances:
-        drivers = WorkloadDriver.per_datacenter(cluster, spec.workload, spec.protocol)
+        # On a sharded placement the per-DC instances fan out over the
+        # groups; on the classic single-group deployment they share the one
+        # entity group (the Figure-8 experiment).
+        drivers = WorkloadDriver.per_datacenter(
+            cluster, spec.workload, spec.protocol,
+            shared_group=cluster.placement.n_groups == 1,
+        )
     else:
         datacenter = spec.client_datacenter
         if datacenter is None:
@@ -72,11 +78,18 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
     for driver in drivers:
         driver.start()
     cluster.run()
-    group = spec.workload.group
-    log = cluster.finalize(group)
+    # Merge every group's log for the aggregate statistics; group logs are
+    # independent position sequences, so the merged view keys by
+    # (group, position).
+    group_logs = cluster.finalize_all()
+    log = {
+        (group, position): entry
+        for group, group_log in group_logs.items()
+        for position, entry in group_log.items()
+    }
     outcomes = [outcome for driver in drivers for outcome in driver.result.outcomes]
     if spec.check_invariants:
-        cluster.check_invariants(group, outcomes)
+        cluster.check_invariants_all(outcomes, logs=group_logs)
     metrics = RunMetrics.from_outcomes(outcomes, protocol=spec.protocol, log=log)
     per_instance = {
         driver.result.datacenter: RunMetrics.from_outcomes(

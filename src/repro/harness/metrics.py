@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import fmean, median
-from typing import Iterable
+from typing import Hashable, Iterable, Mapping
 
 from repro.model import AbortReason, TransactionOutcome
 from repro.wal.entry import LogEntry
@@ -35,7 +35,9 @@ class LogStats:
     max_entry_size: int = 0
 
     @classmethod
-    def from_log(cls, log: dict[int, LogEntry]) -> "LogStats":
+    def from_log(cls, log: Mapping[Hashable, LogEntry]) -> "LogStats":
+        """Positions may be plain ints (one group) or (group, position)
+        pairs (multi-group runs); only the entries themselves matter."""
         stats = cls(positions=len(log))
         for entry in log.values():
             if len(entry) > 1:
@@ -78,7 +80,7 @@ class RunMetrics:
         cls,
         outcomes: Iterable[TransactionOutcome],
         protocol: str = "",
-        log: dict[int, LogEntry] | None = None,
+        log: Mapping[Hashable, LogEntry] | None = None,
     ) -> "RunMetrics":
         outcomes = list(outcomes)
         metrics = cls(protocol=protocol, n_transactions=len(outcomes))

@@ -21,11 +21,93 @@ order serializes blind writes.
 from __future__ import annotations
 
 import enum
+import re
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
+
+from repro.config import PlacementConfig
 
 #: A data item: (row key, attribute name).
 Item = tuple[str, str]
+
+_TRAILING_DIGITS = re.compile(r"(\d+)$")
+
+
+class Placement:
+    """The key → entity-group map of a deployment (§2, §4).
+
+    Every row key routes to exactly one group, stably: the same key always
+    lands in the same group, independent of call order, process, or seed.
+    Group names are ``group-0`` … ``group-{n-1}`` (see
+    :class:`repro.config.PlacementConfig.group_prefix`).
+
+    Transactions live entirely within one group — that is the paper's scope
+    ("each transaction accesses only data from a single entity group") — so
+    the client uses this map to reject cross-group operations with
+    :class:`repro.errors.CrossGroupTransaction`.
+    """
+
+    def __init__(self, config: PlacementConfig | None = None) -> None:
+        self.config = config or PlacementConfig()
+        self.groups: tuple[str, ...] = tuple(
+            self.group_name(index) for index in range(self.config.n_groups)
+        )
+
+    @classmethod
+    def single(cls) -> "Placement":
+        """The degenerate one-group placement of the seed system."""
+        return cls(PlacementConfig(n_groups=1))
+
+    @property
+    def n_groups(self) -> int:
+        return self.config.n_groups
+
+    def group_name(self, index: int) -> str:
+        return f"{self.config.group_prefix}{index}"
+
+    def group_index(self, key: str) -> int:
+        """The group index of row *key* (stable across calls and runs)."""
+        if self.config.n_groups == 1:
+            return 0
+        if self.config.assignment == "range":
+            match = _TRAILING_DIGITS.search(key)
+            if match is not None:
+                number = int(match.group(1))
+                universe = self.config.key_universe
+                assert universe is not None  # enforced by PlacementConfig
+                if number < universe:
+                    return number * self.config.n_groups // universe
+            # Keys outside the numbered universe fall back to hashing so
+            # every key still routes somewhere deterministic.
+        return zlib.crc32(key.encode("utf-8")) % self.config.n_groups
+
+    def group_of(self, key: str) -> str:
+        """The group name row *key* belongs to."""
+        return self.group_name(self.group_index(key))
+
+    def split_by_group(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Partition *keys* into ``{group name: [keys]}`` (all groups listed,
+        including empty ones)."""
+        partition: dict[str, list[str]] = {group: [] for group in self.groups}
+        for key in keys:
+            partition[self.group_of(key)].append(key)
+        return partition
+
+    def place_rows(
+        self, rows: Mapping[str, Mapping[str, Any]]
+    ) -> dict[str, dict[str, Mapping[str, Any]]]:
+        """Partition a ``{row: attributes}`` image into per-group images."""
+        images: dict[str, dict[str, Mapping[str, Any]]] = {}
+        for row, attributes in rows.items():
+            images.setdefault(self.group_of(row), {})[row] = attributes
+        return images
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Placement(n_groups={self.config.n_groups}, "
+            f"assignment={self.config.assignment!r})"
+        )
 
 
 class TransactionStatus(enum.Enum):

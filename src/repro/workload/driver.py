@@ -10,7 +10,10 @@ immediately; YCSB throttles the same way).
 
 "We also examine concurrency effects in an experiment where each replica
 has its own YCSB instance" (§6, Figure 8): :meth:`WorkloadDriver.per_datacenter`
-builds one instance per datacenter over a shared entity group.
+builds one instance per datacenter, targeting one shared entity group
+(``shared_group=True``, the Figure-8 setup) or fanning out over the
+cluster placement's groups (``shared_group=False``) — an explicit parameter
+rather than a config default.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
 from repro.config import ProtocolName, WorkloadConfig
-from repro.errors import TransactionError
+from repro.errors import CrossGroupTransaction, TransactionError
 from repro.model import (
     AbortReason,
     Transaction,
@@ -50,7 +53,18 @@ class InstanceResult:
 
 
 class WorkloadDriver:
-    """Runs one YCSB-style instance against a cluster."""
+    """Runs one YCSB-style instance against a cluster.
+
+    ``multi_group`` selects between the two workload shapes:
+
+    * ``False`` — every transaction targets the single entity group named
+      by ``workload.group`` (the paper's evaluation setup);
+    * ``True`` — transactions fan out over the cluster placement's groups
+      (uniform or zipfian per ``workload.group_distribution``), each
+      confined to its group's rows;
+    * ``None`` (default) — inferred: multi-group iff the cluster placement
+      has more than one group.
+    """
 
     def __init__(
         self,
@@ -59,26 +73,58 @@ class WorkloadDriver:
         protocol: ProtocolName,
         datacenter: str | None = None,
         instance_id: str = "ycsb0",
+        multi_group: bool | None = None,
     ) -> None:
         self.cluster = cluster
         self.workload = workload
         self.protocol = protocol
         self.datacenter = datacenter or cluster.topology.names[0]
         self.instance_id = instance_id
+        if multi_group is None:
+            multi_group = cluster.placement.n_groups > 1
+        if multi_group and cluster.placement.n_groups < 2:
+            raise ValueError(
+                "multi_group workload needs a cluster placement with more "
+                "than one group (see ClusterConfig.placement)"
+            )
+        self.multi_group = multi_group
         self.result = InstanceResult(datacenter=self.datacenter)
         self._generator = YcsbWorkload(
             workload,
             cluster.env.rng.stream(f"workload.{instance_id}"),
+            placement=cluster.placement if multi_group else None,
         )
+        if not multi_group and cluster.placement.n_groups > 1:
+            # A single-group workload on a sharded cluster must keep all its
+            # rows inside the targeted group, or every stray transaction
+            # would die with CrossGroupTransaction mid-run — fail at
+            # construction instead.
+            stray = [
+                row for row in self._generator.all_rows
+                if cluster.placement.group_of(row) != workload.group
+            ]
+            if stray:
+                raise ValueError(
+                    f"single-group workload targets {workload.group!r} but "
+                    f"rows {stray[:3]} route to other groups under the "
+                    f"cluster placement; use multi_group=True (or "
+                    f"per_datacenter(shared_group=False)) or shrink n_rows"
+                )
         self._processes = []
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
 
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Every entity group this driver generates transactions for."""
+        return self._generator.groups
+
     def install_data(self) -> None:
-        """Preload the entity group's rows in every datacenter."""
-        self.cluster.preload(self.workload.group, self._generator.initial_rows())
+        """Preload every targeted group's rows in every datacenter."""
+        for group, rows in self._generator.initial_images().items():
+            self.cluster.preload(group, rows)
 
     def start(self) -> None:
         """Spawn the client threads; call before ``cluster.run()``."""
@@ -113,8 +159,8 @@ class WorkloadDriver:
         yield env.timeout(index * self.workload.stagger_ms)
         for _k in range(budget):
             slot_start = env.now
-            ops = self._generator.next_transaction()
-            outcome = yield from self._run_transaction(client, ops)
+            group, ops = self._generator.next_group_transaction()
+            outcome = yield from self._run_transaction(client, group, ops)
             self.result.outcomes.append(outcome)
             # Rate cap: next arrival one (jittered) period after this slot
             # began; skip the wait entirely if we are already late.
@@ -124,14 +170,14 @@ class WorkloadDriver:
                 yield env.timeout(next_slot - env.now)
 
     def _run_transaction(
-        self, client: "TransactionClient", ops: list[Operation]
+        self, client: "TransactionClient", group: str, ops: list[Operation]
     ) -> Generator:
         """Execute one transaction end to end; never raises."""
         env = self.cluster.env
         begin_time = env.now
         sequence = 0
         try:
-            handle = yield from client.begin(self.workload.group)
+            handle = yield from client.begin(group)
             for op in ops:
                 if op.kind == "read":
                     yield from client.read(handle, op.row, op.attribute)
@@ -141,10 +187,14 @@ class WorkloadDriver:
                     client.write(handle, op.row, op.attribute, value)
             outcome = yield from client.commit(handle)
             return outcome
+        except CrossGroupTransaction:
+            # A workload/placement mismatch is a programming error, not a
+            # runtime fault to be recorded as an abort — fail loudly.
+            raise
         except TransactionError:
             placeholder = Transaction(
                 tid=f"{client.node.name}#unavailable@{env.now:.3f}",
-                group=self.workload.group,
+                group=group,
                 read_set=frozenset(),
                 writes=(),
                 read_position=-1,
@@ -169,8 +219,17 @@ class WorkloadDriver:
         cluster: "Cluster",
         workload: WorkloadConfig,
         protocol: ProtocolName,
+        *,
+        shared_group: bool = True,
     ) -> list["WorkloadDriver"]:
-        """One instance in every datacenter, sharing the entity group.
+        """One workload instance in every datacenter.
+
+        ``shared_group=True`` is the Figure-8 experiment: every instance
+        targets the *same* entity group (``workload.group``), so the
+        datacenters compete for one log.  ``shared_group=False`` instead
+        spreads every instance's transactions across the cluster placement's
+        groups (multi-group mode; the placement must define more than one
+        group).
 
         The first driver owns the data preload; start them all, then run the
         cluster to completion.
@@ -180,5 +239,6 @@ class WorkloadDriver:
             drivers.append(cls(
                 cluster, workload, protocol,
                 datacenter=dc, instance_id=f"ycsb{index}",
+                multi_group=not shared_group,
             ))
         return drivers

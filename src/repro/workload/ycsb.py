@@ -13,6 +13,14 @@ serializability oracles depend on this.
 The zipfian generator is the standard YCSB construction (Gray et al.'s
 incremental zeta computation is unnecessary here; attribute counts are
 small, so the distribution is materialized directly).
+
+**Multi-group mode** (the paper's §2 "partitioned into entity groups"):
+constructed with a :class:`~repro.model.Placement` of more than one group,
+the workload routes its row universe through the placement, draws each
+transaction's group uniformly or zipfian-distributed
+(``WorkloadConfig.group_distribution``), and confines the transaction's
+operations to that group's rows — transactions never span groups, matching
+the paper's scope.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.config import WorkloadConfig
+from repro.model import Placement
 
 OpKind = Literal["read", "write"]
 
@@ -62,16 +71,60 @@ class ZipfianGenerator:
 
 
 class YcsbWorkload:
-    """Generates rows, initial data, and per-transaction operation lists."""
+    """Generates rows, initial data, and per-transaction operation lists.
 
-    def __init__(self, config: WorkloadConfig, rng: random.Random) -> None:
+    With a *placement* of more than one group the workload runs in
+    multi-group mode: each transaction targets one group (chosen per
+    ``config.group_distribution``) and only touches rows routed to it.
+    Every group must own at least one row — size ``n_rows`` and the
+    placement so none comes up empty (range assignment with
+    ``key_universe == n_rows`` guarantees this).
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        rng: random.Random,
+        placement: Placement | None = None,
+    ) -> None:
         self.config = config
         self.rng = rng
+        self.placement = placement
+        self.multi_group = placement is not None and placement.n_groups > 1
         self._zipf = (
             ZipfianGenerator(config.n_attributes, config.zipfian_theta)
             if config.distribution == "zipfian"
             else None
         )
+        self._group_zipf: ZipfianGenerator | None = None
+        self._all_rows = [self.row_name(r) for r in range(config.n_rows)]
+        self._group_rows: dict[str, list[str]] = {}
+        if self.multi_group:
+            assert placement is not None
+            self._group_rows = placement.split_by_group(self._all_rows)
+            empty = [group for group, rows in self._group_rows.items() if not rows]
+            if empty:
+                raise ValueError(
+                    f"groups {empty} own no rows under this placement; "
+                    f"raise n_rows (= {config.n_rows}) or use range assignment"
+                )
+            if config.group_distribution == "zipfian":
+                self._group_zipf = ZipfianGenerator(
+                    placement.n_groups, config.group_zipfian_theta
+                )
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """The groups this workload generates transactions for."""
+        if self.multi_group:
+            assert self.placement is not None
+            return self.placement.groups
+        return (self.config.group,)
+
+    @property
+    def all_rows(self) -> tuple[str, ...]:
+        """Every row name this workload can touch."""
+        return tuple(self._all_rows)
 
     # ------------------------------------------------------------------
     # Data layout
@@ -93,6 +146,16 @@ class YcsbWorkload:
             for r in range(self.config.n_rows)
         }
 
+    def initial_images(self) -> dict[str, dict[str, dict[str, str]]]:
+        """The initial image partitioned by group: ``{group: {row: attrs}}``."""
+        rows = self.initial_rows()
+        if not self.multi_group:
+            return {self.config.group: rows}
+        return {
+            group: {row: rows[row] for row in group_rows}
+            for group, group_rows in self._group_rows.items()
+        }
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
@@ -102,14 +165,34 @@ class YcsbWorkload:
             return self._zipf.next(self.rng)
         return self.rng.randrange(self.config.n_attributes)
 
-    def next_transaction(self) -> list[Operation]:
-        """The operation list for one transaction."""
+    def _pick_group(self) -> str:
+        assert self.placement is not None
+        if self._group_zipf is not None:
+            return self.placement.group_name(self._group_zipf.next(self.rng))
+        return self.placement.group_name(self.rng.randrange(self.placement.n_groups))
+
+    def _make_ops(self, rows: list[str]) -> list[Operation]:
         ops: list[Operation] = []
         for _index in range(self.config.ops_per_transaction):
             kind: OpKind = (
                 "read" if self.rng.random() < self.config.read_fraction else "write"
             )
-            row = self.row_name(self.rng.randrange(self.config.n_rows))
+            row = rows[self.rng.randrange(len(rows))]
             attribute = self.attribute_name(self._pick_attribute())
             ops.append(Operation(kind=kind, row=row, attribute=attribute))
         return ops
+
+    def next_transaction(self) -> list[Operation]:
+        """The operation list for one transaction (single-group form)."""
+        return self._make_ops(self._all_rows)
+
+    def next_group_transaction(self) -> tuple[str, list[Operation]]:
+        """One transaction plus the group it targets.
+
+        Multi-group mode draws the group first, then confines the operations
+        to that group's rows; single-group mode targets ``config.group``.
+        """
+        if not self.multi_group:
+            return self.config.group, self.next_transaction()
+        group = self._pick_group()
+        return group, self._make_ops(self._group_rows[group])

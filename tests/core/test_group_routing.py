@@ -1,0 +1,127 @@
+"""Client-side group routing: transactions stay inside one entity group."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, PlacementConfig, StoreConfig
+from repro.errors import CrossGroupTransaction, TransactionStateError
+
+
+def make_sharded_cluster(n_groups: int = 4) -> Cluster:
+    return Cluster(ClusterConfig(
+        cluster_code="VVV",
+        store=StoreConfig.instant(),
+        jitter=0.0,
+        placement=PlacementConfig(
+            n_groups=n_groups, assignment="range", key_universe=n_groups,
+        ),
+    ))
+
+
+def preload_all(cluster: Cluster, n_groups: int = 4) -> None:
+    cluster.preload_placed({f"row{k}": {"a": f"init:{k}"} for k in range(n_groups)})
+
+
+class TestCrossGroupRejection:
+    def test_read_outside_group_raises_typed_error(self):
+        cluster = make_sharded_cluster()
+        preload_all(cluster)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+
+        def app():
+            handle = yield from client.begin("group-0")
+            yield from client.read(handle, "row3", "a")  # routes to group-3
+
+        cluster.env.process(app())
+        with pytest.raises(CrossGroupTransaction) as excinfo:
+            cluster.run()
+        error = excinfo.value
+        assert error.handle_group == "group-0"
+        assert error.row == "row3"
+        assert error.row_group == "group-3"
+
+    def test_write_outside_group_raises_before_any_message(self):
+        cluster = make_sharded_cluster()
+        preload_all(cluster)
+        client = cluster.add_client("V1")
+
+        def app():
+            handle = yield from client.begin("group-1")
+            client.write(handle, "row0", "a", "oops")  # routes to group-0
+
+        cluster.env.process(app())
+        with pytest.raises(CrossGroupTransaction):
+            cluster.run()
+
+    def test_in_group_operations_commit(self):
+        cluster = make_sharded_cluster()
+        preload_all(cluster)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+
+        def app():
+            handle = yield from client.begin("group-2")
+            value = yield from client.read(handle, "row2", "a")
+            client.write(handle, "row2", "a", value + "!")
+            return (yield from client.commit(handle))
+
+        process = cluster.env.process(app())
+        cluster.run()
+        assert process.value.committed
+        assert process.value.transaction.group == "group-2"
+
+
+class TestBeginRouting:
+    def test_begin_by_key_routes_via_placement(self):
+        cluster = make_sharded_cluster()
+        preload_all(cluster)
+        client = cluster.add_client("V1")
+
+        def app():
+            handle = yield from client.begin(key="row3")
+            return handle
+
+        process = cluster.env.process(app())
+        cluster.run()
+        assert process.value.group == "group-3"
+
+    def test_begin_needs_exactly_one_of_group_or_key(self):
+        cluster = make_sharded_cluster()
+        client = cluster.add_client("V1")
+        with pytest.raises(TransactionStateError):
+            next(client.begin())
+        with pytest.raises(TransactionStateError):
+            next(client.begin("group-0", key="row0"))
+
+    def test_group_for_exposes_routing(self):
+        cluster = make_sharded_cluster()
+        client = cluster.add_client("V1")
+        assert client.group_for("row0") == "group-0"
+        assert client.group_for("row3") == "group-3"
+
+
+class TestSingleGroupCompatibility:
+    def test_single_group_deployments_accept_arbitrary_group_names(self):
+        cluster = Cluster(ClusterConfig(
+            cluster_code="VVV", store=StoreConfig.instant(), jitter=0.0,
+        ))
+        cluster.preload("accounts", {"alice": {"balance": 100}})
+        client = cluster.add_client("V1", protocol="paxos-cp")
+        assert client.placement is None
+
+        def app():
+            handle = yield from client.begin("accounts")
+            balance = yield from client.read(handle, "alice", "balance")
+            client.write(handle, "alice", "balance", balance - 1)
+            return (yield from client.commit(handle))
+
+        process = cluster.env.process(app())
+        cluster.run()
+        assert process.value.committed
+
+    def test_group_for_without_placement_is_an_api_error(self):
+        cluster = Cluster(ClusterConfig(store=StoreConfig.instant()))
+        client = cluster.add_client("V1")
+        with pytest.raises(TransactionStateError):
+            client.group_for("row0")

@@ -41,6 +41,33 @@ class TestRunCommand:
         assert "per datacenter" in out
         assert "V1" in out and "O" in out and "C" in out
 
+    def test_groups_flag_shards_the_workload(self, capsys):
+        code = main([
+            "run", "--transactions", "12", "--threads", "2", "--rate", "10",
+            "--ops", "3", "--groups", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VVV/paxos-cp/4g" in out
+
+    def test_per_dc_combined_with_groups_fans_out(self, capsys):
+        code = main([
+            "run", "--groups", "2", "--per-dc", "--transactions", "6",
+            "--threads", "1", "--rate", "20", "--ops", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per datacenter" in out
+        # The sharded placement must not turn routine operations into
+        # cross-group failures recorded as unavailable aborts.
+        assert "service_unavailable" not in out
+
+    def test_groups_flag_validated(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--groups", "0", "--transactions", "2"])
+        with pytest.raises(SystemExit):
+            main(["run", "--groups", "4", "--rows", "2", "--transactions", "2"])
+
     def test_flags_reach_the_protocol(self, capsys):
         code = main([
             "run", "--transactions", "8", "--threads", "2", "--rate", "10",

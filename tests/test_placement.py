@@ -1,0 +1,98 @@
+"""Properties of the key → entity-group map (:class:`repro.model.Placement`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PlacementConfig
+from repro.model import Placement
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=24
+)
+group_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestPlacementConfig:
+    def test_rejects_nonpositive_group_count(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_groups=0)
+
+    def test_range_requires_key_universe(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_groups=2, assignment="range")
+
+    def test_range_requires_universe_at_least_groups(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(n_groups=4, assignment="range", key_universe=3)
+
+
+class TestRouting:
+    @given(key=keys, n_groups=group_counts)
+    def test_every_key_routes_to_exactly_one_group(self, key, n_groups):
+        placement = Placement(PlacementConfig(n_groups=n_groups))
+        group = placement.group_of(key)
+        assert group in placement.groups
+        assert len(placement.groups) == n_groups
+
+    @given(key=keys, n_groups=group_counts)
+    def test_routing_is_stable_across_calls_and_instances(self, key, n_groups):
+        config = PlacementConfig(n_groups=n_groups)
+        first = Placement(config)
+        assert first.group_of(key) == first.group_of(key)
+        # A fresh Placement over the same config must agree: routing depends
+        # only on (key, config), never on call order, process, or seed.
+        assert Placement(config).group_of(key) == first.group_of(key)
+
+    @given(
+        n_groups=st.integers(min_value=1, max_value=8),
+        universe_factor=st.integers(min_value=1, max_value=5),
+    )
+    def test_range_assignment_contiguous_and_covering(self, n_groups, universe_factor):
+        universe = n_groups * universe_factor
+        placement = Placement(PlacementConfig(
+            n_groups=n_groups, assignment="range", key_universe=universe,
+        ))
+        indices = [placement.group_index(f"row{k}") for k in range(universe)]
+        # Non-decreasing blocks covering every group: no empty groups.
+        assert indices == sorted(indices)
+        assert set(indices) == set(range(n_groups))
+
+    def test_range_falls_back_to_hash_outside_universe(self):
+        placement = Placement(PlacementConfig(
+            n_groups=4, assignment="range", key_universe=4,
+        ))
+        for key in ("alice", "row99"):
+            group = placement.group_of(key)
+            assert group in placement.groups
+            assert group == placement.group_of(key)
+
+    def test_single_group_routes_everything_to_group_0(self):
+        placement = Placement.single()
+        assert placement.group_of("anything") == "group-0"
+        assert placement.groups == ("group-0",)
+
+
+class TestPartitioning:
+    @given(key_list=st.lists(keys, max_size=30), n_groups=group_counts)
+    def test_split_by_group_partitions_all_keys(self, key_list, n_groups):
+        placement = Placement(PlacementConfig(n_groups=n_groups))
+        partition = placement.split_by_group(key_list)
+        assert set(partition) == set(placement.groups)
+        rejoined = [key for keys_ in partition.values() for key in keys_]
+        assert sorted(rejoined) == sorted(key_list)
+        for group, group_keys in partition.items():
+            assert all(placement.group_of(key) == group for key in group_keys)
+
+    def test_place_rows_routes_each_row_once(self):
+        placement = Placement(PlacementConfig(
+            n_groups=2, assignment="range", key_universe=4,
+        ))
+        rows = {f"row{k}": {"a": k} for k in range(4)}
+        images = placement.place_rows(rows)
+        assert images == {
+            "group-0": {"row0": {"a": 0}, "row1": {"a": 1}},
+            "group-1": {"row2": {"a": 2}, "row3": {"a": 3}},
+        }

@@ -1,0 +1,76 @@
+"""Multi-group transaction generation in :class:`YcsbWorkload`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import PlacementConfig, WorkloadConfig
+from repro.model import Placement
+from repro.workload.ycsb import YcsbWorkload
+
+
+def sharded_workload(n_groups: int = 4, n_rows: int | None = None, **overrides):
+    n_rows = n_rows if n_rows is not None else n_groups
+    placement = Placement(PlacementConfig(
+        n_groups=n_groups, assignment="range", key_universe=n_rows,
+    ))
+    config = WorkloadConfig(n_rows=n_rows, n_attributes=8, **overrides)
+    return YcsbWorkload(config, random.Random(7), placement=placement)
+
+
+class TestMultiGroupGeneration:
+    def test_groups_property_lists_placement_groups(self):
+        workload = sharded_workload(4)
+        assert workload.groups == ("group-0", "group-1", "group-2", "group-3")
+
+    def test_single_group_mode_unchanged(self):
+        config = WorkloadConfig(n_attributes=8)
+        workload = YcsbWorkload(config, random.Random(7))
+        assert workload.groups == (config.group,)
+        group, ops = workload.next_group_transaction()
+        assert group == config.group
+        assert len(ops) == config.ops_per_transaction
+
+    def test_initial_images_partition_the_rows(self):
+        workload = sharded_workload(2, n_rows=4)
+        images = workload.initial_images()
+        assert set(images) == {"group-0", "group-1"}
+        all_rows = {row for rows in images.values() for row in rows}
+        assert all_rows == {f"row{k}" for k in range(4)}
+        # Same partition the cluster's placement would compute.
+        for group, rows in images.items():
+            assert all(
+                workload.placement.group_of(row) == group for row in rows
+            )
+
+    def test_transactions_confined_to_their_group_rows(self):
+        workload = sharded_workload(4, n_rows=8)
+        for _ in range(50):
+            group, ops = workload.next_group_transaction()
+            assert group in workload.groups
+            for op in ops:
+                assert workload.placement.group_of(op.row) == group
+
+    def test_empty_group_is_rejected(self):
+        # 2 rows hashed over 8 groups: most groups own no rows.
+        placement = Placement(PlacementConfig(n_groups=8, assignment="hash"))
+        config = WorkloadConfig(n_rows=2, n_attributes=8)
+        with pytest.raises(ValueError, match="no rows"):
+            YcsbWorkload(config, random.Random(7), placement=placement)
+
+    def test_uniform_group_choice_hits_every_group(self):
+        workload = sharded_workload(4)
+        seen = {workload.next_group_transaction()[0] for _ in range(200)}
+        assert seen == set(workload.groups)
+
+    def test_zipfian_group_choice_prefers_low_indices(self):
+        workload = sharded_workload(
+            4, group_distribution="zipfian", group_zipfian_theta=0.99,
+        )
+        counts: dict[str, int] = {}
+        for _ in range(400):
+            group, _ops = workload.next_group_transaction()
+            counts[group] = counts.get(group, 0) + 1
+        assert counts["group-0"] > counts.get("group-3", 0)
