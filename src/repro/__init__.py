@@ -45,7 +45,7 @@ from repro.config import (
     StoreConfig,
     WorkloadConfig,
 )
-from repro.core.client import TransactionClient, TransactionHandle
+from repro.core.client import MultiGroupHandle, TransactionClient, TransactionHandle
 from repro.errors import (
     CrossGroupTransaction,
     QuorumTimeout,
@@ -72,6 +72,7 @@ __all__ = [
     "ClusterConfig",
     "CrossGroupTransaction",
     "FailureInjector",
+    "MultiGroupHandle",
     "Placement",
     "PlacementConfig",
     "ProtocolConfig",

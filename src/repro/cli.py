@@ -64,6 +64,11 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--group-distribution", default="uniform",
                         choices=["uniform", "zipfian"],
                         help="how multi-group transactions pick their group")
+    parser.add_argument("--cross-group-fraction", type=float, default=0.0,
+                        help="fraction of transactions spanning several "
+                             "groups, committed via 2PC (needs --groups > 1)")
+    parser.add_argument("--cross-group-span", type=int, default=2,
+                        help="groups each cross-group transaction touches")
     parser.add_argument("--no-fastpath", action="store_true",
                         help="disable the per-position leader optimization")
     parser.add_argument("--max-promotions", type=int, default=None,
@@ -83,6 +88,15 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         raise SystemExit(
             f"error: --rows ({n_rows}) must be >= --groups ({n_groups}) so "
             f"every group owns at least one row"
+        )
+    if args.cross_group_fraction > 0 and n_groups < 2:
+        raise SystemExit(
+            "error: --cross-group-fraction needs --groups > 1"
+        )
+    if args.cross_group_fraction > 0 and args.protocol == "leased-leader":
+        raise SystemExit(
+            "error: --cross-group-fraction is incompatible with "
+            "--protocol leased-leader (2PC prepares go through Paxos)"
         )
     # Range assignment over the numbered row space guarantees every group
     # owns at least one row.
@@ -109,6 +123,8 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             target_rate_per_thread=args.rate,
             read_fraction=args.read_fraction,
             group_distribution=args.group_distribution,
+            cross_group_fraction=args.cross_group_fraction,
+            cross_group_span=args.cross_group_span,
         ),
         protocol=args.protocol,
         per_datacenter_instances=args.per_dc,

@@ -29,21 +29,40 @@ from repro.core.leased_leader import install_leased_leader
 from repro.core.service import TransactionService
 from repro.kvstore.service import StoreAccessor, StoreLatencyModel
 from repro.kvstore.store import MultiVersionStore
-from repro.model import Item, Placement, TransactionOutcome
+from repro.kvstore.txnstatus import (
+    DECISION_GROUP_ROOT,
+    TxnStatusTable,
+    decision_group,
+)
+from repro.model import (
+    Item,
+    Placement,
+    TransactionOutcome,
+    TransactionStatusRecord,
+)
 from repro.net.latency import RttMatrixLatency
 from repro.net.network import Network
 from repro.net.topology import Topology, cluster_preset
-from repro.serializability.checker import is_one_copy_serializable
+from repro.serializability.checker import (
+    is_one_copy_serializable,
+    merge_group_histories,
+)
 from repro.serializability.history import MVHistory
 from repro.sim.env import Environment
 from repro.wal.entry import LogEntry
-from repro.wal.invariants import InvariantViolation, global_log, run_all_checks
+from repro.wal.invariants import (
+    InvariantViolation,
+    effective_log,
+    global_log,
+    run_all_checks,
+)
 from repro.wal.log import (
     ATTR_BALLOT,
     ATTR_CHOSEN,
     ATTR_VALUE,
     LogReplica,
     data_row_key,
+    paxos_group_prefix,
     paxos_row_key,
 )
 
@@ -70,6 +89,13 @@ class Cluster:
         self._initial_images: dict[str, dict[Item, Any]] = {}
         self._groups: set[str] = set()
 
+        group_homes = dict(self.config.placement.group_homes or {})
+        for group, dc in group_homes.items():
+            if dc not in self.topology.names:
+                raise ValueError(
+                    f"group_homes places {group!r} in {dc!r}, which is not a "
+                    f"datacenter of cluster {self.config.cluster_code!r}"
+                )
         store_latency = StoreLatencyModel(
             self.config.store.op_low_ms, self.config.store.op_high_ms
         )
@@ -80,6 +106,7 @@ class Cluster:
                 self.env, self.network, dc, store,
                 self.config.protocol, home_dc=self.home_dc,
                 store_accessor=accessor,
+                group_homes=group_homes,
             )
             install_leased_leader(service)
             self.stores[dc] = store
@@ -180,43 +207,248 @@ class Cluster:
         global log.
         """
         replicas = self.replicas(group)
-        majority = self.topology.majority
         decided: dict[int, LogEntry] = {}
         positions: set[int] = set()
+        prefix = paxos_group_prefix(group)
         for replica in replicas:
-            prefix = f"_paxos/{group}/"
             for key in replica.store.keys():
                 if key.startswith(prefix):
                     positions.add(int(key[len(prefix):]))
         for position in sorted(positions):
-            votes: Counter = Counter()
-            candidates: dict[tuple, LogEntry] = {}
-            for replica in replicas:
-                version = replica.store.read(paxos_row_key(group, position))
-                if version is None:
-                    continue
-                if version.get(ATTR_CHOSEN):
-                    decided[position] = version.get(ATTR_VALUE)
-                    break
-                value = version.get(ATTR_VALUE)
-                ballot = version.get(ATTR_BALLOT)
-                if value is not None and ballot is not None:
-                    key = (ballot, value.tids)
-                    votes[key] += 1
-                    candidates[key] = value
-            else:
-                for key, count in votes.items():
-                    if count >= majority:
-                        decided[position] = candidates[key]
-                        break
+            entry = self._decided_value(paxos_row_key(group, position))
+            if entry is not None:
+                decided[position] = entry
         for position, entry in decided.items():
             for replica in replicas:
                 replica.record_chosen(position, entry)
         return {pos: entry for pos, entry in sorted(decided.items())}
 
+    def _decided_value(self, row_key: str) -> LogEntry | None:
+        """The provably decided value of one Paxos instance, by inspection.
+
+        A value is decided iff some replica recorded it as chosen, or a
+        majority of replicas hold it accepted at one ballot — the criterion
+        :meth:`finalize` and :meth:`cross_group_decisions` share.
+        """
+        votes: Counter = Counter()
+        candidates: dict[tuple, LogEntry] = {}
+        for store in self.stores.values():
+            version = store.read(row_key)
+            if version is None:
+                continue
+            if version.get(ATTR_CHOSEN):
+                return version.get(ATTR_VALUE)
+            value = version.get(ATTR_VALUE)
+            ballot = version.get(ATTR_BALLOT)
+            if value is not None and ballot is not None:
+                key = (ballot, value.vote_key)
+                votes[key] += 1
+                candidates[key] = value
+        for key, count in votes.items():
+            if count >= self.topology.majority:
+                return candidates[key]
+        return None
+
+    def _highest_vote(self, row_key: str) -> LogEntry | None:
+        """The highest-ballot accepted value of one Paxos instance, if any.
+
+        The standard recovery proposal: with *every* replica visible, any
+        already-chosen value necessarily equals the overall highest-ballot
+        vote (a higher-ballot acceptance can only carry a chosen value
+        forward), so completing the instance with this value never changes
+        a decided outcome.
+        """
+        best_ballot = None
+        best_value: LogEntry | None = None
+        for store in self.stores.values():
+            version = store.read(row_key)
+            if version is None:
+                continue
+            value = version.get(ATTR_VALUE)
+            ballot = version.get(ATTR_BALLOT)
+            if value is None or ballot is None:
+                continue
+            if best_ballot is None or ballot > best_ballot:
+                best_ballot, best_value = ballot, value
+        return best_value
+
     def finalize_all(self) -> dict[str, dict[int, LogEntry]]:
         """:meth:`finalize` every group; returns ``{group: global log}``."""
         return {group: self.finalize(group) for group in self.groups}
+
+    # ------------------------------------------------------------------
+    # Cross-group (2PC) status, recovery, and verification
+    # ------------------------------------------------------------------
+
+    def cross_group_decisions(self) -> dict[str, bool]:
+        """Durable 2PC decisions, ``{gtid: committed}``, by direct inspection.
+
+        A decision is durable iff its single-slot Paxos instance is decided:
+        chosen at some replica, or accepted at one ballot by a majority —
+        the same criterion :meth:`finalize` applies to log positions
+        (:meth:`_decided_value`).  Undecided transactions are simply absent
+        (see :meth:`recover_cross_group`).
+        """
+        prefix = paxos_group_prefix(DECISION_GROUP_ROOT)
+        decisions: dict[str, bool] = {}
+        gtids: set[str] = set()
+        for store in self.stores.values():
+            for key in store.keys():
+                if key.startswith(prefix):
+                    gtids.add(key[len(prefix):].rsplit("/", 1)[0])
+        for gtid in sorted(gtids):
+            entry = self._decided_value(paxos_row_key(decision_group(gtid), 1))
+            if entry is not None:
+                decisions[gtid] = entry.kind == "commit"
+        return decisions
+
+    def recover_cross_group(
+        self, logs: dict[str, dict[int, LogEntry]] | None = None
+    ) -> dict[str, bool]:
+        """Resolve every in-doubt 2PC transaction; returns the decision map.
+
+        A prepare whose decision instance is still undecided after the run
+        belongs to a coordinator that crashed mid-protocol.  Recovery
+        completes the instance the way a Paxos recovery proposer would: if
+        any replica holds an accepted value, that value (at the highest
+        ballot) is adopted — a COMMIT the coordinator drove to an accept
+        quorum but never saw acknowledged survives, never flips to abort
+        (see :meth:`_highest_vote` for why this preserves any chosen value).
+        Only an instance no acceptor ever voted in is presumed ABORT — no
+        client can have been told COMMIT, and with the run over nobody else
+        can propose it.  All participant groups then follow the one
+        decision: all-or-nothing by construction.
+        """
+        decisions = self.cross_group_decisions()
+        logs = logs if logs is not None else self.finalize_all()
+        orphans: dict[str, tuple[str, ...]] = {}
+        for log in logs.values():
+            for entry in log.values():
+                if entry.kind == "prepare" and entry.gtid not in decisions:
+                    orphans[entry.gtid or ""] = entry.participants
+        for gtid, participants in sorted(orphans.items()):
+            resolution = self._highest_vote(paxos_row_key(decision_group(gtid), 1))
+            if resolution is None:
+                resolution = LogEntry.marker(False, gtid, participants)
+            committed = resolution.kind == "commit"
+            record = TransactionStatusRecord(
+                gtid=gtid, committed=committed, participants=participants
+            )
+            for dc in self.topology.names:
+                self.services[dc].replica(decision_group(gtid)).record_chosen(
+                    1, resolution
+                )
+                TxnStatusTable(self.stores[dc]).record(record)
+            decisions[gtid] = committed
+        return decisions
+
+    def check_cross_group_invariants(
+        self,
+        outcomes: list[TransactionOutcome],
+        logs: dict[str, dict[int, LogEntry]],
+        decisions: dict[str, bool],
+    ) -> None:
+        """The 2PC obligations, over the finalized logs and decision map.
+
+        * **atomicity** — a COMMIT decision requires a chosen prepare in
+          *every* participant group (never a proper subset); a reported
+          commit requires a COMMIT decision and a reported (decisive) abort
+          an ABORT decision;
+        * **no orphaned prepare** — every prepare's gtid is decided (checked
+          per group by :func:`repro.wal.invariants.check_no_orphaned_prepares`;
+          re-checked here across groups);
+        * **marker agreement** — every in-log commit/abort marker matches
+          the durable decision;
+        * **global 1SR** — the merged cross-group history passes the MVSG
+          test (per-group serializability is necessary but not sufficient).
+        """
+        from repro.model import AbortReason, TransactionStatus
+
+        violations: list[str] = []
+        prepared: dict[str, dict[str, int]] = {}
+        participants: dict[str, tuple[str, ...]] = {}
+        for group, log in sorted(logs.items()):
+            for position, entry in sorted(log.items()):
+                if entry.kind == "prepare":
+                    gtid = entry.gtid or ""
+                    prepared.setdefault(gtid, {})[group] = position
+                    participants.setdefault(gtid, entry.participants)
+                    if gtid not in decisions:
+                        violations.append(
+                            f"(2PC) orphaned prepare for {gtid} in {group} "
+                            f"at position {position}"
+                        )
+                elif entry.is_marker:
+                    committed = decisions.get(entry.gtid or "")
+                    if committed is None or committed != (entry.kind == "commit"):
+                        violations.append(
+                            f"(2PC) marker {entry} in {group} at position "
+                            f"{position} disagrees with the durable decision "
+                            f"({committed})"
+                        )
+        for gtid, committed in sorted(decisions.items()):
+            if not committed:
+                continue
+            expected = set(participants.get(gtid, ()))
+            got = set(prepared.get(gtid, {}))
+            if expected and got != expected:
+                violations.append(
+                    f"(2PC) {gtid} decided COMMIT but only "
+                    f"{sorted(got)} of {sorted(expected)} groups hold its prepare"
+                )
+        for outcome in outcomes:
+            txn = outcome.transaction
+            if not txn.is_cross_group or not txn.groups:
+                continue
+            decided = decisions.get(txn.tid)
+            if outcome.status is TransactionStatus.COMMITTED and decided is not True:
+                violations.append(
+                    f"(2PC) {txn.tid} reported committed but the durable "
+                    f"decision is {decided}"
+                )
+            if (
+                outcome.status is TransactionStatus.ABORTED
+                and outcome.abort_reason is AbortReason.PREPARE_FAILED
+                and decided is True
+            ):
+                violations.append(
+                    f"(2PC) {txn.tid} reported a decisive abort but the "
+                    f"durable decision is COMMIT"
+                )
+        if violations:
+            raise InvariantViolation(violations)
+        # Global one-copy serializability over the merged history.
+        ok, cycle = self.check_global_serializability(logs, decisions)
+        if not ok:
+            raise InvariantViolation(
+                [f"(2PC) global MVSG test failed: cycle {cycle} in the merged "
+                 f"cross-group history"]
+            )
+
+    def check_global_serializability(
+        self,
+        logs: dict[str, dict[int, LogEntry]] | None = None,
+        decisions: dict[str, bool] | None = None,
+    ) -> tuple[bool, list[str] | None]:
+        """MVSG test over the merged history of *every* group.
+
+        Branch transactions collapse into their global transaction, items
+        are namespaced by group; acyclic ⇒ the whole multi-group execution
+        is one-copy serializable, cross-group transactions included.
+        """
+        logs = logs if logs is not None else self.finalize_all()
+        decisions = decisions if decisions is not None else self.cross_group_decisions()
+        histories: dict[str, MVHistory] = {}
+        rename: dict[str, str] = {}
+        for group, log in logs.items():
+            for entry in log.values():
+                if entry.kind == "prepare" and decisions.get(entry.gtid or ""):
+                    rename[entry.transactions[0].tid] = entry.gtid or ""
+            histories[group] = MVHistory.from_log(
+                effective_log(log, decisions), self.initial_image_for(group)
+            )
+        merged = merge_group_histories(histories, rename)
+        return is_one_copy_serializable(merged)
 
     def check_invariants(
         self,
@@ -224,6 +456,7 @@ class Cluster:
         outcomes: list[TransactionOutcome],
         strict_timeouts: bool = False,
         finalized: bool = False,
+        decisions: dict[str, bool] | None = None,
     ) -> None:
         """Run every §3 correctness check; raise on any violation.
 
@@ -235,11 +468,16 @@ class Cluster:
 
         ``finalized=True`` skips the :meth:`finalize` pass for callers that
         already ran it (it rescans every replica's Paxos key space).
+
+        ``decisions`` resolves 2PC prepare entries; when ``None`` it is
+        derived by direct inspection (cheap when the run had none).
         """
         from repro.model import AbortReason, TransactionStatus
 
         if not finalized:
             self.finalize(group)
+        if decisions is None:
+            decisions = self.cross_group_decisions()
         replicas = self.replicas(group)
         considered = outcomes
         if not strict_timeouts:
@@ -256,9 +494,11 @@ class Cluster:
                 )
             ]
         image = self._initial_images.get(group, {})
-        run_all_checks(replicas, considered, image)
+        run_all_checks(replicas, considered, image, decisions)
         # Independent oracle: the MVSG test over the observed history.
-        history = MVHistory.from_log(global_log(replicas), image)
+        history = MVHistory.from_log(
+            effective_log(global_log(replicas), decisions), image
+        )
         ok, cycle = is_one_copy_serializable(history)
         if not ok:
             raise InvariantViolation(
@@ -282,16 +522,27 @@ class Cluster:
         ``logs`` lets a caller that already ran :meth:`finalize_all` reuse
         its result instead of rescanning every replica's Paxos key space;
         any group missing from it is finalized here.
+
+        Cross-group (2PC) outcomes are verified separately: in-doubt
+        transactions are first resolved (:meth:`recover_cross_group`), the
+        resulting decision map gates every per-group check, and
+        :meth:`check_cross_group_invariants` adds the atomicity,
+        no-orphaned-prepare, and *global* serializability obligations.
         """
         by_group: dict[str, list[TransactionOutcome]] = {
             group: [] for group in self.groups
         }
+        cross_outcomes: list[TransactionOutcome] = []
         for outcome in outcomes:
-            by_group.setdefault(outcome.transaction.group, []).append(outcome)
+            if outcome.transaction.is_cross_group:
+                cross_outcomes.append(outcome)
+            else:
+                by_group.setdefault(outcome.transaction.group, []).append(outcome)
         logs = dict(logs or {})
         for group in sorted(by_group):
             if group not in logs:
                 logs[group] = self.finalize(group)
+        decisions = self.recover_cross_group(logs)
         seen_tids: dict[str, str] = {}
         cross_group: list[str] = []
         for group, log in logs.items():
@@ -307,5 +558,10 @@ class Cluster:
             raise InvariantViolation(cross_group)
         for group, group_outcomes in sorted(by_group.items()):
             self.check_invariants(
-                group, group_outcomes, strict_timeouts, finalized=True
+                group, group_outcomes, strict_timeouts,
+                finalized=True, decisions=decisions,
             )
+        if cross_outcomes or any(
+            entry.kind != "data" for log in logs.values() for entry in log.values()
+        ):
+            self.check_cross_group_invariants(cross_outcomes, logs, decisions)

@@ -9,7 +9,7 @@ a key-value store latency calibrated to HBase-on-EBS (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import Literal, Mapping
 
 #: Which commit protocol a client runs.
 ProtocolName = Literal["paxos", "paxos-cp", "leased-leader"]
@@ -43,16 +43,31 @@ class PlacementConfig:
         when ``assignment == "range"``.
     group_prefix:
         Group names are ``f"{group_prefix}{index}"`` (``group-0`` …).
+    group_homes:
+        Optional per-group home override, ``{group name: datacenter}``.  A
+        group's *home* datacenter anchors its position-1 leader (and its
+        leased leader), so placing a group's home near its writers cuts that
+        group's commit latency.  Groups absent from the map keep the
+        deployment's single home datacenter — the pre-override behaviour.
     """
 
     n_groups: int = 1
     assignment: GroupAssignment = "hash"
     key_universe: int | None = None
     group_prefix: str = "group-"
+    group_homes: Mapping[str, str] | None = None
 
     def __post_init__(self) -> None:
         if self.n_groups <= 0:
             raise ValueError(f"need at least one group, got {self.n_groups}")
+        if self.group_homes is not None:
+            known = {f"{self.group_prefix}{index}" for index in range(self.n_groups)}
+            unknown = sorted(set(self.group_homes) - known)
+            if unknown:
+                raise ValueError(
+                    f"group_homes names unknown groups {unknown}; this "
+                    f"placement has {sorted(known)}"
+                )
         if self.assignment == "range":
             if self.key_universe is None:
                 raise ValueError("range assignment requires key_universe")
@@ -198,10 +213,24 @@ class WorkloadConfig:
     #: than one group; ``group`` above names the single-group target).
     group_distribution: Literal["uniform", "zipfian"] = "uniform"
     group_zipfian_theta: float = 0.99
+    #: Fraction of transactions that span several entity groups and commit
+    #: through the 2PC coordinator (multi-group mode only; 0 reproduces the
+    #: paper's single-group-scoped transactions).
+    cross_group_fraction: float = 0.0
+    #: How many distinct groups a cross-group transaction touches.
+    cross_group_span: int = 2
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ValueError(f"read_fraction must be in [0,1], got {self.read_fraction}")
+        if not 0.0 <= self.cross_group_fraction <= 1.0:
+            raise ValueError(
+                f"cross_group_fraction must be in [0,1], got {self.cross_group_fraction}"
+            )
+        if self.cross_group_span < 2:
+            raise ValueError(
+                f"cross_group_span must be >= 2, got {self.cross_group_span}"
+            )
         if self.n_transactions < 0 or self.ops_per_transaction <= 0:
             raise ValueError("workload sizes must be positive")
         if self.n_attributes <= 0 or self.n_rows <= 0:

@@ -16,6 +16,14 @@ Behaviour lifted from the transaction protocol of §4:
 3. ``write`` is buffered locally; nothing is sent before commit.
 4. ``commit`` returns immediately for read-only transactions; otherwise it
    drives the configured commit protocol and reports commit/abort.
+
+Beyond the paper, ``begin()`` *without* a group pin opens a **cross-group**
+transaction (:class:`MultiGroupHandle`): reads and writes route to their
+rows' entity groups via the deployment placement, each group's read position
+is pinned on first touch, and ``commit`` dispatches by the number of groups
+actually touched — one group takes the existing single-group commit path
+unchanged (same messages, same protocol), several run the Megastore-style
+two-phase commit of :mod:`repro.core.commit_2pc` over the per-group logs.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.errors import (
     TransactionStateError,
 )
 from repro.model import (
+    CROSS_GROUP,
     AbortReason,
     Item,
     Placement,
@@ -68,9 +77,34 @@ class TransactionHandle:
     write_buffer: dict[Item, Any] = field(default_factory=dict)
     write_order: list[tuple[Item, Any]] = field(default_factory=list)
     active: bool = True
+    #: False while a write-only sub-handle of a cross-group transaction has
+    #: not yet fixed its read position (``read_position`` is -1 then).
+    pinned: bool = True
 
     def buffered(self, item: Item) -> bool:
         return item in self.write_buffer
+
+
+@dataclass
+class MultiGroupHandle:
+    """Client-side state of one active *cross-group* transaction.
+
+    Tracks one :class:`TransactionHandle` per entity group touched so far.
+    A group is *pinned* (a normal ``begin`` exchange fixes its read
+    position) the first time it is read; write-only groups defer their pin
+    to commit time — shrinking the window another transaction can slip into
+    — which is still sound: the global serializability argument only needs
+    every pin to precede the transaction's first prepare message.
+    """
+
+    begin_time: float
+    handles: dict[str, TransactionHandle] = field(default_factory=dict)
+    active: bool = True
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Every group this transaction touched, sorted."""
+        return tuple(sorted(self.handles))
 
 
 @dataclass
@@ -195,20 +229,35 @@ class TransactionClient:
     # ------------------------------------------------------------------
 
     def begin(self, group: str | None = None, *, key: str | None = None) -> Generator:
-        """Start a transaction; returns a :class:`TransactionHandle`.
+        """Start a transaction.
 
-        The target group may be named directly (*group*) or derived from a
-        row key (*key*) via the deployment's placement — exactly one of the
-        two must be given.  Contacts the local Transaction Service for the
-        read position; if it does not answer, tries the other datacenters in
-        order (§4 step 1).
+        With a target — named directly (*group*) or derived from a row key
+        (*key*) via the deployment's placement — returns a pinned
+        :class:`TransactionHandle`: the paper's single-group transaction,
+        contacting the local Transaction Service for the read position and
+        failing over to the other datacenters in order (§4 step 1).
+
+        With *neither*, returns a :class:`MultiGroupHandle`: a cross-group
+        transaction whose operations route by row key and whose groups pin
+        lazily.  Requires a placement (the routing map).
         """
-        if (group is None) == (key is None):
-            raise TransactionStateError("begin: pass exactly one of group or key")
+        if group is not None and key is not None:
+            raise TransactionStateError("begin: pass at most one of group or key")
+        if group is None and key is None:
+            if self.placement is None:
+                raise TransactionStateError(
+                    "begin() without a group needs a placement to route by "
+                    "row key (single-group deployments must name the group)"
+                )
+            return MultiGroupHandle(begin_time=self.env.now)
         if group is None:
             assert key is not None
             group = self.group_for(key)
-        begin_time = self.env.now
+        handle = yield from self._begin_group(group, self.env.now)
+        return handle
+
+    def _begin_group(self, group: str, begin_time: float) -> Generator:
+        """The ``begin`` exchange for one group (§4 step 1, with failover)."""
         request = BeginRequest(group=group)
         for svc in self.service_names():
             gather = self.node.request(svc, BEGIN, request, timeout_ms=self.config.timeout_ms)
@@ -223,14 +272,54 @@ class TransactionClient:
                 )
         raise ServiceUnavailable("begin: no Transaction Service answered")
 
-    def read(self, handle: TransactionHandle, row: str, attribute: str) -> Generator:
+    def _unpinned_handle(self, group: str, begin_time: float) -> TransactionHandle:
+        """A write-only sub-handle whose read position is fixed at commit."""
+        return TransactionHandle(
+            group=group, read_position=-1,
+            leader_dc=self._home_for(group),
+            begin_time=begin_time, pinned=False,
+        )
+
+    def _pin(self, sub: TransactionHandle) -> Generator:
+        """Fix an unpinned sub-handle's read position (one begin exchange)."""
+        pinned = yield from self._begin_group(sub.group, sub.begin_time)
+        sub.read_position = pinned.read_position
+        sub.leader_dc = pinned.leader_dc
+        sub.pinned = True
+
+    def _sub_handle(self, handle: MultiGroupHandle, row: str, pin: bool) -> Generator:
+        """The per-group handle *row* routes to, pinning it if *pin*."""
+        group = self.group_for(row)
+        sub = handle.handles.get(group)
+        if sub is None:
+            if pin:
+                sub = yield from self._begin_group(group, handle.begin_time)
+            else:
+                sub = self._unpinned_handle(group, handle.begin_time)
+            handle.handles[group] = sub
+        elif pin and not sub.pinned:
+            yield from self._pin(sub)
+        return sub
+
+    def read(self, handle: TransactionHandle | MultiGroupHandle,
+             row: str, attribute: str) -> Generator:
         """Read one item at the pinned position (§4 step 2).
 
         Returns the buffered value for items this transaction already wrote
         (A1); otherwise asks the local service (with failover) for the value
         at ``handle.read_position`` (A2) and records it in the read set.
+        On a cross-group handle the row's group is pinned first.
         """
         self._require_active(handle)
+        if isinstance(handle, MultiGroupHandle):
+            buffered = handle.handles.get(self.group_for(row))
+            if buffered is not None and buffered.buffered((row, attribute)):
+                # Read-your-own-write (A1) needs no read position — don't
+                # spend a begin exchange (or an early pin) on it.
+                return buffered.write_buffer[(row, attribute)]
+            sub = yield from self._sub_handle(handle, row, pin=True)
+            value = yield from self.read(sub, row, attribute)
+            return value
         self._check_group(handle, row)
         item: Item = (row, attribute)
         if handle.buffered(item):
@@ -252,18 +341,51 @@ class TransactionClient:
                 return reply.value
         raise ServiceUnavailable(f"read: no Transaction Service could serve {item}")
 
-    def write(self, handle: TransactionHandle, row: str, attribute: str, value: Any) -> None:
-        """Buffer one write locally (§4 step 3); no messages are sent."""
+    def write(self, handle: TransactionHandle | MultiGroupHandle,
+              row: str, attribute: str, value: Any) -> None:
+        """Buffer one write locally (§4 step 3); no messages are sent.
+
+        On a cross-group handle the write lands in the row's group's
+        sub-handle; a group only ever written stays unpinned until commit.
+        """
         self._require_active(handle)
+        if isinstance(handle, MultiGroupHandle):
+            group = self.group_for(row)
+            sub = handle.handles.get(group)
+            if sub is None:
+                sub = self._unpinned_handle(group, handle.begin_time)
+                handle.handles[group] = sub
+            handle = sub
         self._check_group(handle, row)
         item: Item = (row, attribute)
         handle.write_buffer[item] = value
         handle.write_order.append((item, value))
 
-    def commit(self, handle: TransactionHandle) -> Generator:
-        """Try to commit (§4 step 4); returns a :class:`TransactionOutcome`."""
+    def commit(self, handle: TransactionHandle | MultiGroupHandle) -> Generator:
+        """Try to commit (§4 step 4); returns a :class:`TransactionOutcome`.
+
+        A cross-group handle that touched exactly one group takes this very
+        path (same messages, same protocol); several groups run 2PC.
+        """
         self._require_active(handle)
         handle.active = False
+        if isinstance(handle, MultiGroupHandle):
+            groups = handle.groups
+            if len(groups) > 1:
+                outcome = yield from self._commit_cross_group(handle)
+                return outcome
+            if not groups:
+                # Nothing was touched: trivially committed, nothing to log.
+                return TransactionOutcome(
+                    transaction=self._build_empty_transaction(),
+                    status=TransactionStatus.COMMITTED,
+                    begin_time=handle.begin_time,
+                    end_time=self.env.now,
+                )
+            handle = handle.handles[groups[0]]
+            if not handle.pinned and handle.write_order:
+                yield from self._pin(handle)
+            handle.active = False
         txn = self._build_transaction(handle)
         if txn.is_read_only:
             # "If the transaction is read-only, commit automatically
@@ -278,7 +400,7 @@ class TransactionClient:
         context = CommitContext(
             transaction=txn,
             leader_dc=handle.leader_dc,
-            home_dc=self.home_dc,
+            home_dc=self._home_for(handle.group),
         )
         status = yield from self.protocol.commit(context)
         return TransactionOutcome(
@@ -292,9 +414,51 @@ class TransactionClient:
             combined=context.combined,
         )
 
+    def _commit_cross_group(self, handle: MultiGroupHandle) -> Generator:
+        """Commit a transaction spanning several groups via 2PC."""
+        from repro.core.commit_2pc import TwoPhaseCommit
+
+        if self.protocol_name == "leased-leader":
+            raise TransactionStateError(
+                "cross-group transactions need the paxos or paxos-cp "
+                "protocol (the leased leader owns its group's positions)"
+            )
+        # Pin every write-only group now, before any prepare is sent: the
+        # global serializability argument needs all pins to precede the
+        # first prepare message.
+        for group in handle.groups:
+            sub = handle.handles[group]
+            if not sub.pinned:
+                yield from self._pin(sub)
+            sub.active = False
+        self._txn_counter += 1
+        gtid = f"{self.node.name}#{self._txn_counter}"
+        coordinator = TwoPhaseCommit(self)
+        result = yield from coordinator.commit(gtid, handle.handles)
+        txn = self._build_global_transaction(gtid, handle)
+        status = (
+            TransactionStatus.COMMITTED if result.committed
+            else TransactionStatus.ABORTED
+        )
+        outcome = TransactionOutcome(
+            transaction=txn,
+            status=status,
+            abort_reason=result.abort_reason,
+            begin_time=handle.begin_time,
+            end_time=self.env.now,
+        )
+        outcome.extra["prepare_positions"] = dict(result.prepare_positions)
+        return outcome
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _home_for(self, group: str) -> str:
+        """The home datacenter of *group* (per-group override or default)."""
+        if self.placement is None:
+            return self.home_dc
+        return self.placement.home_of(group, self.home_dc)
 
     def _build_transaction(self, handle: TransactionHandle) -> Transaction:
         self._txn_counter += 1
@@ -307,6 +471,48 @@ class TransactionClient:
             origin=self.node.name,
             origin_dc=self.datacenter,
             read_snapshot=tuple(handle.read_snapshot),
+        )
+
+    def _build_empty_transaction(self) -> Transaction:
+        self._txn_counter += 1
+        return Transaction(
+            tid=f"{self.node.name}#{self._txn_counter}",
+            group=CROSS_GROUP,
+            read_set=frozenset(),
+            writes=(),
+            read_position=-1,
+            origin=self.node.name,
+            origin_dc=self.datacenter,
+        )
+
+    def _build_global_transaction(
+        self, gtid: str, handle: MultiGroupHandle
+    ) -> Transaction:
+        """The client-facing record of a cross-group transaction.
+
+        Items are namespaced ``{group}/{row}`` so rows that share a name
+        across groups stay distinct in the merged (global) history.
+        """
+        read_set: set[Item] = set()
+        writes: list[tuple[Item, Any]] = []
+        snapshot: list[tuple[Item, Any]] = []
+        for group in handle.groups:
+            sub = handle.handles[group]
+            read_set |= {(f"{group}/{row}", attr) for row, attr in sub.read_set}
+            writes += [((f"{group}/{row}", attr), value)
+                       for (row, attr), value in sub.write_order]
+            snapshot += [((f"{group}/{row}", attr), value)
+                         for (row, attr), value in sub.read_snapshot]
+        return Transaction(
+            tid=gtid,
+            group=CROSS_GROUP,
+            read_set=frozenset(read_set),
+            writes=tuple(writes),
+            read_position=-1,
+            origin=self.node.name,
+            origin_dc=self.datacenter,
+            read_snapshot=tuple(snapshot),
+            groups=handle.groups,
         )
 
     @staticmethod

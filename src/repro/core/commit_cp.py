@@ -63,16 +63,16 @@ def enhanced_find_winning_val(
     otherwise → kind "value" with ``findWinningVal``'s answer.
     """
     majority = n_services // 2 + 1
-    votes: Counter[tuple[str, ...]] = Counter()
-    ballot_votes: Counter[tuple[Ballot, tuple[str, ...]]] = Counter()
-    values: dict[tuple[str, ...], LogEntry] = {}
+    votes: Counter[tuple] = Counter()
+    ballot_votes: Counter[tuple[Ballot, tuple]] = Counter()
+    values: dict[tuple, LogEntry] = {}
     responses = 0
     for _src, reply in prepare.replies:
         if not reply.success:
             continue
         responses += 1
         if reply.last_value is not None:
-            key = reply.last_value.tids
+            key = reply.last_value.vote_key
             votes[key] += 1
             ballot_votes[(reply.last_ballot, key)] += 1
             values[key] = reply.last_value
@@ -81,8 +81,15 @@ def enhanced_find_winning_val(
     missing = n_services - responses
 
     if config.enable_combination and max_votes + missing < majority:
-        # No value can have a majority yet: free choice — combine.
-        candidates = [member for entry in values.values() for member in entry]
+        # No value can have a majority yet: free choice — combine.  Only
+        # members of ordinary data entries are candidates: a 2PC prepare
+        # entry (or decision marker) must win or lose *whole* — folding its
+        # branch into a combined data entry would strip the atomic-commit
+        # gating the apply path keys off its kind.
+        candidates = [
+            member for entry in values.values() if entry.kind == "data"
+            for member in entry
+        ]
         combined = combine(txn, candidates, config.combine_exhaustive_limit)
         if len(combined) > 1:
             return ValueDecision(
@@ -152,6 +159,6 @@ class PaxosCPCommit(PaxosCommitBase):
 
             promotions += 1
             position += 1
-            # The winner's datacenter leads the next position (§4.1).
-            head = winner.transactions[0]
-            leader_dc = head.origin_dc or context.home_dc
+            # The winner's datacenter leads the next position (§4.1); 2PC
+            # decision markers name no origin and defer to the home.
+            leader_dc = winner.head_origin_dc(context.home_dc)

@@ -29,6 +29,13 @@ from typing import TYPE_CHECKING, Any, Generator
 from repro.config import ProtocolConfig
 from repro.kvstore.service import StoreAccessor
 from repro.kvstore.store import MultiVersionStore
+from repro.kvstore.txnstatus import (
+    TxnStatusTable,
+    decision_group,
+    gtid_of_decision_group,
+    is_decision_group,
+)
+from repro.model import TransactionStatusRecord
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.paxos import messages as m
@@ -39,6 +46,8 @@ from repro.wal.log import LogReplica, data_row_key
 from repro.wal.entry import LogEntry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Mapping
+
     from repro.net.network import Network
     from repro.sim.env import Environment
 
@@ -95,15 +104,18 @@ class TransactionService:
         config: ProtocolConfig,
         home_dc: str,
         store_accessor: StoreAccessor | None = None,
+        group_homes: "Mapping[str, str] | None" = None,
     ) -> None:
         self.env = env
         self.datacenter = datacenter
         self.config = config
         self.home_dc = home_dc
+        self.group_homes = dict(group_homes or {})
         self.store = store
         self.accessor = store_accessor or StoreAccessor(env, store)
         self.node = Node(env, network, service_name(datacenter), datacenter)
         self.acceptor = Acceptor(self.accessor)
+        self.txn_status = TxnStatusTable(store)
         self._replicas: dict[str, LogReplica] = {}
         self._apply_locks: dict[str, Lock] = {}
         self._leader_claims: dict[tuple[str, int], str] = {}
@@ -150,6 +162,16 @@ class TransactionService:
         """APPLY also invalidates the replica's chosen-entry cache path."""
         payload: m.ApplyPayload = msg.payload
         yield from self.acceptor.on_apply(payload)
+        if is_decision_group(payload.group):
+            # A 2PC decision became durable: project it into the local
+            # transaction-status table so readers resolve in-doubt prepares
+            # without messaging.
+            self.txn_status.record(TransactionStatusRecord(
+                gtid=gtid_of_decision_group(payload.group),
+                committed=payload.value.kind == "commit",
+                participants=payload.value.participants,
+            ))
+            return None
         # Seed the cache so read_position() sees the new entry without
         # another store read.
         self.replica(payload.group)._chosen_cache.setdefault(payload.position, payload.value)
@@ -169,16 +191,22 @@ class TransactionService:
             leader_dc=self.leader_dc(payload.group, position + 1),
         )
 
+    def home_for(self, group: str) -> str:
+        """The home datacenter of *group*: the per-group placement override
+        when one exists, else the deployment's home."""
+        return self.group_homes.get(group, self.home_dc)
+
     def leader_dc(self, group: str, position: int) -> str:
         """The leader site for *position*: the datacenter of the winner of
         ``position - 1``; the group's home datacenter when there is no
-        previous winner (start of the log or unknown locally)."""
+        previous winner (start of the log or unknown locally) or the winner
+        names no origin (2PC decision markers)."""
         if position <= 1:
-            return self.home_dc
+            return self.home_for(group)
         previous = self.replica(group).chosen_entry(position - 1)
-        if previous is None or not previous.transactions[0].origin_dc:
-            return self.home_dc
-        return previous.transactions[0].origin_dc
+        if previous is None:
+            return self.home_for(group)
+        return previous.head_origin_dc(self.home_for(group))
 
     def _on_leader_claim(self, msg: Message):
         """Fast-path arbitration: first claimant per (group, position) wins."""
@@ -208,7 +236,10 @@ class TransactionService:
         """Apply committed entries through *position*; catch up on gaps.
 
         Returns True on success, False if some decision could not be learned
-        (e.g. a majority of replicas is unreachable).
+        (e.g. a majority of replicas is unreachable) or an in-doubt 2PC
+        prepare blocks the prefix (its global decision is not yet knowable —
+        readers pinned at or past it must wait, which is 2PC's blocking
+        window surfacing exactly where it should).
         """
         replica = self.replica(group)
         if replica.applied_through >= position:
@@ -228,6 +259,23 @@ class TransactionService:
                 entry = replica.chosen_entry(next_position)
                 if entry is None:  # raced with a concurrent catch-up failure
                     return False
+                if entry.is_marker:
+                    # A 2PC decision marker: resolves the earlier prepare,
+                    # writes nothing itself.
+                    self.txn_status.record(TransactionStatusRecord(
+                        gtid=entry.gtid or "",
+                        committed=entry.kind == "commit",
+                        participants=entry.participants,
+                    ))
+                    replica.mark_applied(next_position)
+                    continue
+                if entry.kind == "prepare":
+                    committed = yield from self._resolve_decision(entry)
+                    if committed is None:
+                        return False  # in-doubt: cannot serve this prefix yet
+                    if not committed:
+                        replica.mark_applied(next_position)
+                        continue
                 for row, attributes in entry.write_image().items():
                     yield self.accessor.write(
                         data_row_key(group, row), attributes, timestamp=next_position
@@ -236,6 +284,35 @@ class TransactionService:
         finally:
             lock.release()
         return True
+
+    def _resolve_decision(self, entry: LogEntry) -> Generator:
+        """The global decision for a prepare entry's transaction.
+
+        Returns True (commit), False (abort), or ``None`` while in doubt.
+        Cheapest source first: the local status table, the local copy of the
+        decision instance, then a passive LEARN round over the peers (never
+        *proposing* — forcing a decision is recovery's job, not a reader's).
+        """
+        gtid = entry.gtid or ""
+        record = self.txn_status.get(gtid)
+        if record is not None:
+            return record.committed
+        instance = decision_group(gtid)
+        decided = self.replica(instance).chosen_entry(1)
+        if decided is None:
+            learner = Learner(
+                self.node, instance, self._peers or [self.node.name], self.config
+            )
+            decided = yield from learner.learn(1)
+        if decided is None:
+            return None
+        self.txn_status.record(TransactionStatusRecord(
+            gtid=gtid,
+            committed=decided.kind == "commit",
+            participants=decided.participants,
+        ))
+        self.replica(instance).record_chosen(1, decided)
+        return decided.kind == "commit"
 
     def _catch_up(self, group: str, position: int) -> Generator:
         """Learn one missing decision from the peer replicas (§4.1)."""

@@ -128,14 +128,16 @@ class TransactionStateError(TransactionError):
 
 
 class CrossGroupTransaction(TransactionError):
-    """A transaction touched a row outside its entity group.
+    """A *pinned* transaction touched a row outside its entity group.
 
     The paper's transactions live entirely within one entity group; a read
     or write whose row routes (via the deployment's
     :class:`~repro.model.Placement`) to a different group than the one the
     transaction began on is a programming error, reported before any
-    message is sent.  Cross-group atomicity (Megastore-style two-phase
-    commit or queues) is future work — see ROADMAP.md.
+    message is sent.  Transactions that genuinely need several groups open
+    an *unpinned* handle instead — ``begin()`` with no group — and commit
+    atomically through the 2PC coordinator
+    (:mod:`repro.core.commit_2pc`).
     """
 
     def __init__(self, handle_group: str, row: str, row_group: str) -> None:

@@ -33,6 +33,8 @@ class LogStats:
     combined_entries: int = 0
     combined_transactions: int = 0
     max_entry_size: int = 0
+    prepare_entries: int = 0
+    marker_entries: int = 0
 
     @classmethod
     def from_log(cls, log: Mapping[Hashable, LogEntry]) -> "LogStats":
@@ -40,6 +42,12 @@ class LogStats:
         pairs (multi-group runs); only the entries themselves matter."""
         stats = cls(positions=len(log))
         for entry in log.values():
+            if entry.kind == "prepare":
+                stats.prepare_entries += 1
+                continue
+            if entry.is_marker:
+                stats.marker_entries += 1
+                continue
             if len(entry) > 1:
                 stats.combined_entries += 1
                 stats.combined_transactions += len(entry) - 1
@@ -64,6 +72,10 @@ class RunMetrics:
     max_promotions: int = 0
     duration_ms: float = 0.0
     log: LogStats = field(default_factory=LogStats)
+    #: Cross-group (2PC) slice of the run.
+    cross_group_transactions: int = 0
+    cross_group_commits: int = 0
+    mean_cross_commit_latency_ms: float = float("nan")
 
     @property
     def aborts(self) -> int:
@@ -86,10 +98,19 @@ class RunMetrics:
         metrics = cls(protocol=protocol, n_transactions=len(outcomes))
         commit_latencies: list[float] = []
         all_latencies: list[float] = []
+        cross_latencies: list[float] = []
         per_round: dict[int, list[float]] = {}
         for outcome in outcomes:
             all_latencies.append(outcome.latency_ms)
             metrics.max_promotions = max(metrics.max_promotions, outcome.promotions)
+            # Only transactions that named participant groups count as 2PC
+            # attempts; an untouched unpinned handle commits trivially and
+            # must not skew the cross-group latency average.
+            if outcome.transaction.is_cross_group and outcome.transaction.groups:
+                metrics.cross_group_transactions += 1
+                if outcome.committed:
+                    metrics.cross_group_commits += 1
+                    cross_latencies.append(outcome.latency_ms)
             if outcome.committed:
                 metrics.commits += 1
                 metrics.commits_by_round[outcome.promotions] = (
@@ -110,6 +131,8 @@ class RunMetrics:
             metrics.p95_commit_latency_ms = _percentile(ordered, 0.95)
         if all_latencies:
             metrics.mean_all_latency_ms = fmean(all_latencies)
+        if cross_latencies:
+            metrics.mean_cross_commit_latency_ms = fmean(cross_latencies)
         metrics.latency_by_round = {
             round_: fmean(values) for round_, values in sorted(per_round.items())
         }
@@ -155,10 +178,19 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
     result.mean_all_latency_ms = _safe_mean([t.mean_all_latency_ms for t in trials])
     result.max_promotions = max(t.max_promotions for t in trials)
     result.duration_ms = fmean(t.duration_ms for t in trials)
+    result.cross_group_transactions = round(
+        fmean(t.cross_group_transactions for t in trials)
+    )
+    result.cross_group_commits = round(fmean(t.cross_group_commits for t in trials))
+    result.mean_cross_commit_latency_ms = _safe_mean(
+        [t.mean_cross_commit_latency_ms for t in trials]
+    )
     result.log = LogStats(
         positions=round(fmean(t.log.positions for t in trials)),
         combined_entries=round(fmean(t.log.combined_entries for t in trials)),
         combined_transactions=round(fmean(t.log.combined_transactions for t in trials)),
         max_entry_size=max(t.log.max_entry_size for t in trials),
+        prepare_entries=round(fmean(t.log.prepare_entries for t in trials)),
+        marker_entries=round(fmean(t.log.marker_entries for t in trials)),
     )
     return result

@@ -31,6 +31,29 @@ def format_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
+def _abort_histogram(metrics: RunMetrics) -> str:
+    """Aborts by reason as ``lost_position:12 cross_group:1 ...``.
+
+    Every recorded reason is surfaced — including ``cross_group`` (a pinned
+    transaction strayed off its entity group) and ``prepare_failed`` (a 2PC
+    participant lost its prepare position) — so operator-facing reports never
+    silently fold a distinct failure mode into a bare abort count.
+    """
+    if not metrics.aborts_by_reason:
+        return "-"
+    return " ".join(
+        f"{reason}:{count}"
+        for reason, count in sorted(metrics.aborts_by_reason.items())
+    )
+
+
+def _cross_group_cell(metrics: RunMetrics) -> str:
+    """Cross-group commits / attempts, or ``-`` for single-group runs."""
+    if metrics.cross_group_transactions == 0:
+        return "-"
+    return f"{metrics.cross_group_commits}/{metrics.cross_group_transactions}"
+
+
 def _round_histogram(metrics: RunMetrics, max_rounds: int = 4) -> str:
     """Commits per promotion round as ``r0:312 r1:74 r2:21 ...``."""
     if not metrics.commits_by_round:
@@ -52,7 +75,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
     headers = [
         "cell", "protocol", "txns", "commits", "rate",
         "by promotion round", "lat ms (commit)", "lat ms (all)",
-        "combined", "max promo",
+        "combined", "max promo", "xgroup", "aborts by reason",
     ]
     rows = []
     for result in results:
@@ -68,6 +91,8 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             _fmt(metrics.mean_all_latency_ms),
             str(metrics.log.combined_entries),
             str(metrics.max_promotions),
+            _cross_group_cell(metrics),
+            _abort_histogram(metrics),
         ])
     table = format_table(headers, rows)
     if title:

@@ -31,6 +31,12 @@ from repro.config import PlacementConfig
 #: A data item: (row key, attribute name).
 Item = tuple[str, str]
 
+#: The ``Transaction.group`` value of a *cross-group* transaction record (the
+#: client-facing outcome of a 2PC commit).  Never a real group name: placement
+#: group names are ``{prefix}{index}`` and user-supplied group keys come from
+#: application code, which has no business starting names with ``*``.
+CROSS_GROUP = "*cross*"
+
 _TRAILING_DIGITS = re.compile(r"(\d+)$")
 
 
@@ -94,6 +100,14 @@ class Placement:
             partition[self.group_of(key)].append(key)
         return partition
 
+    def home_of(self, group: str, default: str) -> str:
+        """The home datacenter of *group*: its ``group_homes`` override when
+        the placement has one, else *default* (the deployment's home)."""
+        homes = self.config.group_homes
+        if homes is None:
+            return default
+        return homes.get(group, default)
+
     def place_rows(
         self, rows: Mapping[str, Mapping[str, Any]]
     ) -> dict[str, dict[str, Mapping[str, Any]]]:
@@ -129,6 +143,8 @@ class AbortReason(enum.Enum):
     TIMEOUT = "timeout"                      # could not reach a quorum
     CLIENT_CRASH = "client_crash"            # fault injection killed the client
     SERVICE_UNAVAILABLE = "service_unavailable"  # no service answered begin/read
+    CROSS_GROUP = "cross_group"              # pinned txn touched another group
+    PREPARE_FAILED = "prepare_failed"        # 2PC: a participant group's prepare lost
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -161,6 +177,12 @@ class Transaction:
         one-copy-serializability checker can replay the log and verify that
         every committed transaction read exactly the state its serial
         position implies (Definition 1).
+    groups:
+        Empty for ordinary single-group transactions.  For the client-facing
+        record of a *cross-group* transaction (``group == CROSS_GROUP``) it
+        names every participant entity group; the per-group branches that
+        actually enter the logs are separate :class:`Transaction` records
+        built by the 2PC coordinator.
     """
 
     tid: str
@@ -171,6 +193,12 @@ class Transaction:
     origin: str = ""
     origin_dc: str = ""
     read_snapshot: tuple[tuple[Item, Any], ...] = ()
+    groups: tuple[str, ...] = ()
+
+    @property
+    def is_cross_group(self) -> bool:
+        """True for the client-facing record of a 2PC transaction."""
+        return self.group == CROSS_GROUP
 
     @property
     def write_set(self) -> frozenset[Item]:
@@ -199,6 +227,28 @@ class Transaction:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.tid
+
+
+@dataclass(frozen=True)
+class TransactionStatusRecord:
+    """One row of the durable transaction-status table (2PC recovery).
+
+    Keyed by the global transaction id; written to every datacenter's
+    key-value store once the commit/abort decision for a cross-group
+    transaction is durable, so recovery can resolve in-doubt participant
+    groups without the coordinator.
+    """
+
+    gtid: str
+    committed: bool
+    participants: tuple[str, ...] = ()
+
+    @property
+    def status(self) -> TransactionStatus:
+        return (
+            TransactionStatus.COMMITTED if self.committed
+            else TransactionStatus.ABORTED
+        )
 
 
 def is_serializable_sequence(transactions: Iterable[Transaction]) -> bool:

@@ -85,14 +85,14 @@ class Learner:
             grace_ms=0.0,
         )
         responses = yield gather
-        votes: dict[tuple[Ballot, tuple[str, ...]], int] = {}
-        candidates: dict[tuple[Ballot, tuple[str, ...]], "LogEntry"] = {}
+        votes: dict[tuple[Ballot, tuple], int] = {}
+        candidates: dict[tuple[Ballot, tuple], "LogEntry"] = {}
         for envelope in responses:
             reply: m.LearnReply = envelope.payload
             if reply.chosen is not None:
                 return reply.chosen
             if reply.last_value is not None and reply.last_ballot != NULL_BALLOT:
-                key = (reply.last_ballot, reply.last_value.tids)
+                key = (reply.last_ballot, reply.last_value.vote_key)
                 votes[key] = votes.get(key, 0) + 1
                 candidates[key] = reply.last_value
         for key, count in votes.items():

@@ -1,11 +1,17 @@
 """Deciding one-copy serializability.
 
-Two procedures:
+Three procedures:
 
 * :func:`is_one_copy_serializable` — the polynomial MVSG acyclicity test for
   the history's given version order.  Sound (acyclic ⇒ 1SR).  For version
   orders induced by our write-ahead log it is the test Theorems 2 and 3
   appeal to.
+* :func:`merge_group_histories` — fuses per-entity-group histories into one
+  *global* history: items are namespaced by group and the per-group branches
+  of each cross-group (2PC) transaction collapse into a single node.  The
+  MVSG test over the merged history decides **global** one-copy
+  serializability — the guarantee the 2PC layer owes on top of each group's
+  own log-order serializability.
 * :func:`brute_force_one_copy_serializable` — the exact decision procedure
   straight from Definition 1: search for *any* serial order of the committed
   transactions whose single-copy execution produces the same reads-from
@@ -16,9 +22,10 @@ Two procedures:
 from __future__ import annotations
 
 from itertools import permutations
+from typing import Mapping
 
 from repro.serializability.graph import build_mvsg, find_cycle, serial_order_from_graph
-from repro.serializability.history import MVHistory, serial_reads_from
+from repro.serializability.history import INITIAL, HistoryTxn, MVHistory, serial_reads_from
 
 
 def is_one_copy_serializable(history: MVHistory) -> tuple[bool, list[str] | None]:
@@ -47,6 +54,50 @@ def equivalent_serial_order(history: MVHistory) -> list[str]:
     if cycle is not None:
         raise ValueError(f"history is not one-copy serializable; MVSG cycle: {cycle}")
     return serial_order_from_graph(graph)
+
+
+def merge_group_histories(
+    histories: Mapping[str, MVHistory],
+    rename: Mapping[str, str] | None = None,
+) -> MVHistory:
+    """One global history from per-group histories.
+
+    Every item ``(row, attr)`` of group *g* becomes ``(f"{g}/{row}", attr)``
+    — groups are disjoint keyspaces, but row *names* may repeat across them.
+    ``rename`` maps per-group transaction ids to global ones (the 2PC branch
+    → gtid map); transactions renamed to the same id merge into one node
+    with the union of their reads and writes, which is exactly what makes a
+    cross-group transaction a single point in the global serial order.
+    """
+    rename = dict(rename or {})
+    reads: dict[str, list] = {}
+    writes: dict[str, set] = {}
+    merged = MVHistory()
+    for group, history in sorted(histories.items()):
+        def global_item(item):
+            row, attribute = item
+            return (f"{group}/{row}", attribute)
+
+        for txn in history.transactions.values():
+            tid = rename.get(txn.tid, txn.tid)
+            txn_reads = reads.setdefault(tid, [])
+            for item, writer in txn.reads:
+                writer_tid = writer if writer is INITIAL else rename.get(writer, writer)
+                txn_reads.append((global_item(item), writer_tid))
+            writes.setdefault(tid, set()).update(
+                global_item(item) for item in txn.writes
+            )
+        for item, order in history.version_order.items():
+            merged.version_order[global_item(item)] = [
+                rename.get(tid, tid) for tid in order
+            ]
+    for tid in reads:
+        merged.add(HistoryTxn(
+            tid=tid,
+            reads=tuple(sorted(reads[tid], key=lambda pair: pair[0])),
+            writes=frozenset(writes[tid]),
+        ))
+    return merged
 
 
 def brute_force_one_copy_serializable(

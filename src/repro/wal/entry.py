@@ -5,14 +5,31 @@ combination enhancement generalizes the value to an *ordered list* of
 transactions that is itself a one-copy-serializable history (no member reads
 an item a preceding member wrote) — see §5 and
 :func:`repro.model.is_serializable_sequence`.
+
+The cross-group 2PC layer (Megastore-style, over the per-group logs) adds
+three more entry kinds:
+
+* ``"prepare"`` — a participant group's branch of a cross-group transaction,
+  installed at its position by the group's normal commit machinery.  Its
+  writes are applied only once the global decision is COMMIT.
+* ``"commit"`` / ``"abort"`` — decision markers.  In a *group* log they
+  record the resolution of an earlier prepare (carrying no transactions and
+  applying nothing); as the value of a transaction-status Paxos instance
+  they *are* the durable all-or-nothing decision.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Literal
 
 from repro.model import Transaction, is_serializable_sequence
+
+#: What a decided log entry means to the apply path.
+EntryKind = Literal["data", "prepare", "commit", "abort"]
+
+#: Entry kinds that carry no transactions and apply no writes.
+MARKER_KINDS = ("commit", "abort")
 
 
 @dataclass(frozen=True)
@@ -21,13 +38,32 @@ class LogEntry:
 
     Entries compare by content (frozen dataclass equality), which is what
     the replication invariant (R1) checks across replicas.
+
+    ``kind`` is ``"data"`` for ordinary entries; 2PC prepare entries and
+    commit/abort markers carry the global transaction id (``gtid``) and, for
+    prepares, the full participant group list (so any replica can drive
+    recovery from its own log).
     """
 
     transactions: tuple[Transaction, ...]
+    kind: EntryKind = "data"
+    gtid: str | None = None
+    participants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.kind in MARKER_KINDS:
+            if self.transactions:
+                raise ValueError(f"a {self.kind} marker carries no transactions")
+            if self.gtid is None:
+                raise ValueError(f"a {self.kind} marker needs a gtid")
+            return
         if not self.transactions:
             raise ValueError("a log entry must contain at least one transaction")
+        if self.kind == "prepare":
+            if self.gtid is None or not self.participants:
+                raise ValueError("a prepare entry needs a gtid and participants")
+            if len(self.transactions) != 1:
+                raise ValueError("a prepare entry carries exactly one branch")
 
     @classmethod
     def single(cls, transaction: Transaction) -> "LogEntry":
@@ -45,10 +81,46 @@ class LogEntry:
             )
         return cls(transactions=txns)
 
+    @classmethod
+    def prepare(
+        cls, branch: Transaction, gtid: str, participants: Iterable[str]
+    ) -> "LogEntry":
+        """A 2PC prepare entry: one participant group's branch."""
+        return cls(
+            transactions=(branch,),
+            kind="prepare",
+            gtid=gtid,
+            participants=tuple(participants),
+        )
+
+    @classmethod
+    def marker(cls, committed: bool, gtid: str,
+               participants: Iterable[str] = ()) -> "LogEntry":
+        """A 2PC decision marker (``commit`` or ``abort``)."""
+        return cls(
+            transactions=(),
+            kind="commit" if committed else "abort",
+            gtid=gtid,
+            participants=tuple(participants),
+        )
+
+    @property
+    def is_marker(self) -> bool:
+        return self.kind in MARKER_KINDS
+
     @property
     def tids(self) -> tuple[str, ...]:
         """Transaction ids in entry order."""
         return tuple(txn.tid for txn in self.transactions)
+
+    @property
+    def vote_key(self) -> tuple:
+        """Identity used when counting Paxos votes for this value.
+
+        Two distinct decision markers carry no transactions, so ``tids``
+        alone cannot tell them apart — the kind and gtid must participate.
+        """
+        return (self.kind, self.gtid, self.tids)
 
     def contains(self, tid: str) -> bool:
         """True if the transaction with this id is part of the entry.
@@ -64,6 +136,8 @@ class LogEntry:
 
         Later transactions in the list overwrite earlier ones on the same
         item, which is exactly the serial semantics of the list order.
+        Markers have no writes; a prepare entry's image is applied only when
+        the global decision is COMMIT (the Transaction Service gates this).
         """
         image: dict[str, dict[str, Any]] = {}
         for txn in self.transactions:
@@ -72,11 +146,27 @@ class LogEntry:
         return image
 
     def union_write_set(self):
-        """Items written by any member (used by the promotion conflict test)."""
+        """Items written by any member (used by the promotion conflict test).
+
+        Prepare entries report their branch's writes even though the branch
+        may later abort: counting in-doubt writes as conflicts is the
+        conservative direction (a reader may abort needlessly, never read
+        stale data).
+        """
         items = set()
         for txn in self.transactions:
             items |= txn.write_set
         return frozenset(items)
+
+    def head_origin_dc(self, default: str) -> str:
+        """Datacenter of the entry's head transaction (leader derivation).
+
+        Markers have no transactions and branches may lack an origin; both
+        fall back to *default* (the group's home datacenter).
+        """
+        if not self.transactions or not self.transactions[0].origin_dc:
+            return default
+        return self.transactions[0].origin_dc
 
     def __len__(self) -> int:
         return len(self.transactions)
@@ -85,4 +175,6 @@ class LogEntry:
         return iter(self.transactions)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_marker:
+            return f"{self.kind}:{self.gtid}"
         return "+".join(self.tids)

@@ -22,13 +22,21 @@ This is Definition 1 specialized to the log order, covering both CP
 enhancements (combined entries are replayed member-by-member in list order;
 promoted transactions must still have read the pre-state of their final
 position).
+
+Cross-group 2PC adds entry kinds the replay must respect: a *prepare*
+entry's branch counts only when the global decision for its transaction is
+COMMIT; aborted prepares and commit/abort markers contribute nothing.  The
+checkers take the resolved ``decisions`` map (gtid → committed) and treat an
+*unresolved* prepare as its own violation — after recovery, an in-doubt
+prepare is an orphan (the no-orphaned-prepare invariant).
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.model import Item, TransactionOutcome, TransactionStatus
+from repro.model import Item, Transaction, TransactionOutcome, TransactionStatus
+from repro.wal.entry import LogEntry
 from repro.wal.log import LogReplica
 
 
@@ -52,6 +60,58 @@ def global_log(replicas: list[LogReplica]) -> dict[int, Any]:
     for replica in sorted(replicas, key=lambda r: r.store.name, reverse=True):
         merged.update(replica.entries())
     return merged
+
+
+def effective_transactions(
+    entry: LogEntry, decisions: Mapping[str, bool] | None = None
+) -> tuple[Transaction, ...]:
+    """The transactions of *entry* that actually took effect.
+
+    Data entries contribute every member; a prepare entry contributes its
+    branch iff its transaction's decision is COMMIT; markers and aborted or
+    unresolved prepares contribute nothing.
+    """
+    if entry.kind == "data":
+        return entry.transactions
+    if entry.kind == "prepare" and (decisions or {}).get(entry.gtid or ""):
+        return entry.transactions
+    return ()
+
+
+def effective_log(
+    log: Mapping[int, LogEntry], decisions: Mapping[str, bool] | None = None
+) -> dict[int, LogEntry]:
+    """The committed content of *log*: positions whose entry took effect.
+
+    Positions occupied by markers or non-committed prepares are omitted —
+    they applied nothing, so replays and history constructions skip them.
+    """
+    return {
+        position: entry
+        for position, entry in log.items()
+        if effective_transactions(entry, decisions)
+    }
+
+
+def check_no_orphaned_prepares(
+    replicas: list[LogReplica], decisions: Mapping[str, bool] | None = None
+) -> list[str]:
+    """(2PC) every prepare entry's transaction has a durable decision.
+
+    Run after recovery: an unresolved prepare at that point is an orphan —
+    some participant group could still block forever on it.
+    """
+    violations: list[str] = []
+    resolved = decisions or {}
+    log = global_log(replicas)
+    for position in sorted(log):
+        entry = log[position]
+        if entry.kind == "prepare" and entry.gtid not in resolved:
+            violations.append(
+                f"(2PC) orphaned prepare for {entry.gtid} at position "
+                f"{position}: no durable commit/abort decision"
+            )
+    return violations
 
 
 def check_r1_replica_agreement(replicas: list[LogReplica]) -> list[str]:
@@ -107,6 +167,7 @@ def check_read_only_consistency(
     replicas: list[LogReplica],
     outcomes: list[TransactionOutcome],
     initial_image: Mapping[Item, Any] | None = None,
+    decisions: Mapping[str, bool] | None = None,
 ) -> list[str]:
     """Read-only transactions read a consistent snapshot (Theorem 1).
 
@@ -121,7 +182,7 @@ def check_read_only_consistency(
     states: dict[int, dict[Item, Any]] = {0: dict(initial_image or {})}
     state = dict(states[0])
     for position in sorted(log):
-        for txn in log[position].transactions:
+        for txn in effective_transactions(log[position], decisions):
             for item, value in txn.writes:
                 state[item] = value
         states[position] = dict(state)
@@ -171,6 +232,7 @@ def check_l2_single_position(replicas: list[LogReplica]) -> list[str]:
 def check_l3_prefix_serializable(
     replicas: list[LogReplica],
     initial_image: Mapping[Item, Any] | None = None,
+    decisions: Mapping[str, bool] | None = None,
 ) -> list[str]:
     """(L3): replay the log and verify every recorded read.
 
@@ -179,7 +241,8 @@ def check_l3_prefix_serializable(
     state after replaying positions ``1..p-1`` plus any members preceding
     *t* in *p*'s own entry (the combination rule guarantees those members
     never wrote *t*'s read items, so this reduces to the state at ``p-1``,
-    but replaying in member order also validates that rule).
+    but replaying in member order also validates that rule).  Aborted
+    prepares and decision markers replay as no-ops.
     """
     violations: list[str] = []
     state: dict[Item, Any] = dict(initial_image or {})
@@ -196,7 +259,7 @@ def check_l3_prefix_serializable(
             break
         expected += 1
     for position in positions:
-        for txn in log[position].transactions:
+        for txn in effective_transactions(log[position], decisions):
             if txn.read_position >= position:
                 violations.append(
                     f"(L3) {txn.tid} at position {position} has read_position "
@@ -219,14 +282,20 @@ def run_all_checks(
     replicas: list[LogReplica],
     outcomes: list[TransactionOutcome],
     initial_image: Mapping[Item, Any] | None = None,
+    decisions: Mapping[str, bool] | None = None,
 ) -> None:
-    """Run every checker; raise :class:`InvariantViolation` on any failure."""
+    """Run every checker; raise :class:`InvariantViolation` on any failure.
+
+    ``decisions`` resolves 2PC prepare entries (gtid → committed); pass the
+    post-recovery map when the run produced cross-group transactions.
+    """
     violations = (
         check_r1_replica_agreement(replicas)
         + check_l1_only_committed(replicas, outcomes)
         + check_l2_single_position(replicas)
-        + check_l3_prefix_serializable(replicas, initial_image)
-        + check_read_only_consistency(replicas, outcomes, initial_image)
+        + check_l3_prefix_serializable(replicas, initial_image, decisions)
+        + check_read_only_consistency(replicas, outcomes, initial_image, decisions)
+        + check_no_orphaned_prepares(replicas, decisions)
     )
     if violations:
         raise InvariantViolation(violations)

@@ -31,6 +31,11 @@ def paxos_row_key(group: str, position: int) -> str:
     return f"_paxos/{group}/{position:010d}"
 
 
+def paxos_group_prefix(group: str) -> str:
+    """Prefix shared by every Paxos row key of *group*'s instances."""
+    return f"_paxos/{group}/"
+
+
 def data_row_key(group: str, row: str) -> str:
     """Key of a data row, namespaced by transaction group."""
     return f"data/{group}/{row}"
@@ -101,7 +106,7 @@ class LogReplica:
     def entries(self) -> dict[int, LogEntry]:
         """All chosen entries known to this replica, keyed by position."""
         found: dict[int, LogEntry] = {}
-        prefix = f"_paxos/{self.group}/"
+        prefix = paxos_group_prefix(self.group)
         for key in self.store.keys():
             if not key.startswith(prefix):
                 continue

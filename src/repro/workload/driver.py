@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.config import ProtocolName, WorkloadConfig
 from repro.errors import CrossGroupTransaction, TransactionError
 from repro.model import (
+    CROSS_GROUP,
     AbortReason,
     Transaction,
     TransactionOutcome,
@@ -61,7 +62,8 @@ class WorkloadDriver:
       by ``workload.group`` (the paper's evaluation setup);
     * ``True`` — transactions fan out over the cluster placement's groups
       (uniform or zipfian per ``workload.group_distribution``), each
-      confined to its group's rows;
+      confined to its group's rows; a ``workload.cross_group_fraction``
+      slice spans several groups and commits through 2PC;
     * ``None`` (default) — inferred: multi-group iff the cluster placement
       has more than one group.
     """
@@ -86,6 +88,17 @@ class WorkloadDriver:
             raise ValueError(
                 "multi_group workload needs a cluster placement with more "
                 "than one group (see ClusterConfig.placement)"
+            )
+        if workload.cross_group_fraction > 0 and not multi_group:
+            raise ValueError(
+                "cross_group_fraction needs a multi-group workload (a "
+                "cluster placement with more than one group)"
+            )
+        if workload.cross_group_fraction > 0 and protocol == "leased-leader":
+            raise ValueError(
+                "cross_group_fraction needs the paxos or paxos-cp protocol: "
+                "the leased leader owns its group's log positions, so 2PC "
+                "prepares cannot compete for them"
             )
         self.multi_group = multi_group
         self.result = InstanceResult(datacenter=self.datacenter)
@@ -159,8 +172,8 @@ class WorkloadDriver:
         yield env.timeout(index * self.workload.stagger_ms)
         for _k in range(budget):
             slot_start = env.now
-            group, ops = self._generator.next_group_transaction()
-            outcome = yield from self._run_transaction(client, group, ops)
+            groups, ops = self._generator.next_transaction_spec()
+            outcome = yield from self._run_transaction(client, groups, ops)
             self.result.outcomes.append(outcome)
             # Rate cap: next arrival one (jittered) period after this slot
             # began; skip the wait entirely if we are already late.
@@ -170,14 +183,23 @@ class WorkloadDriver:
                 yield env.timeout(next_slot - env.now)
 
     def _run_transaction(
-        self, client: "TransactionClient", group: str, ops: list[Operation]
+        self, client: "TransactionClient", groups: tuple[str, ...],
+        ops: list[Operation],
     ) -> Generator:
-        """Execute one transaction end to end; never raises."""
+        """Execute one transaction end to end; never raises.
+
+        One target group pins the transaction to it — the paper's path,
+        byte-for-byte.  Several begin an unpinned cross-group transaction
+        that routes by row and commits through the 2PC coordinator.
+        """
         env = self.cluster.env
         begin_time = env.now
         sequence = 0
         try:
-            handle = yield from client.begin(group)
+            if len(groups) > 1:
+                handle = yield from client.begin()
+            else:
+                handle = yield from client.begin(groups[0])
             for op in ops:
                 if op.kind == "read":
                     yield from client.read(handle, op.row, op.attribute)
@@ -187,27 +209,48 @@ class WorkloadDriver:
                     client.write(handle, op.row, op.attribute, value)
             outcome = yield from client.commit(handle)
             return outcome
-        except CrossGroupTransaction:
-            # A workload/placement mismatch is a programming error, not a
-            # runtime fault to be recorded as an abort — fail loudly.
-            raise
-        except TransactionError:
-            placeholder = Transaction(
-                tid=f"{client.node.name}#unavailable@{env.now:.3f}",
-                group=group,
-                read_set=frozenset(),
-                writes=(),
-                read_position=-1,
-                origin=client.node.name,
-                origin_dc=client.datacenter,
-            )
+        except CrossGroupTransaction as strayed:
+            # A pinned transaction touched a row of another group.  The mix
+            # should never produce this (cross-group specs run unpinned),
+            # but bypassed guards and hand-rolled workloads can — count it
+            # as its own abort reason rather than burying or raising it.
             return TransactionOutcome(
-                transaction=placeholder,
+                transaction=self._placeholder(client, groups, f"strayed@{env.now:.3f}"),
+                status=TransactionStatus.ABORTED,
+                abort_reason=AbortReason.CROSS_GROUP,
+                begin_time=begin_time,
+                end_time=env.now,
+                extra={"row": strayed.row, "row_group": strayed.row_group},
+            )
+        except TransactionError:
+            return TransactionOutcome(
+                transaction=self._placeholder(client, groups, f"unavailable@{env.now:.3f}"),
                 status=TransactionStatus.ABORTED,
                 abort_reason=AbortReason.SERVICE_UNAVAILABLE,
                 begin_time=begin_time,
                 end_time=env.now,
             )
+
+    @staticmethod
+    def _placeholder(client: "TransactionClient", groups: tuple[str, ...],
+                     tag: str) -> Transaction:
+        """A stand-in transaction for outcomes that never built one.
+
+        A failed *cross-group* attempt keeps its cross-group identity
+        (``group == CROSS_GROUP``, all intended participants in ``groups``)
+        so the 2PC metrics count the attempt and the abort is not misfiled
+        under an arbitrary participant group.
+        """
+        return Transaction(
+            tid=f"{client.node.name}#{tag}",
+            group=CROSS_GROUP if len(groups) > 1 else groups[0],
+            read_set=frozenset(),
+            writes=(),
+            read_position=-1,
+            origin=client.node.name,
+            origin_dc=client.datacenter,
+            groups=tuple(groups) if len(groups) > 1 else (),
+        )
 
     # ------------------------------------------------------------------
     # Multi-instance construction (Figure 8)

@@ -19,8 +19,11 @@ constructed with a :class:`~repro.model.Placement` of more than one group,
 the workload routes its row universe through the placement, draws each
 transaction's group uniformly or zipfian-distributed
 (``WorkloadConfig.group_distribution``), and confines the transaction's
-operations to that group's rows — transactions never span groups, matching
-the paper's scope.
+operations to that group's rows — matching the paper's scope.  With
+``WorkloadConfig.cross_group_fraction`` > 0 that fraction of transactions
+instead spans ``cross_group_span`` distinct groups, spreading its
+operations round-robin over them; the driver commits those through the 2PC
+coordinator.
 """
 
 from __future__ import annotations
@@ -182,6 +185,15 @@ class YcsbWorkload:
             ops.append(Operation(kind=kind, row=row, attribute=attribute))
         return ops
 
+    def _pick_groups(self, span: int) -> list[str]:
+        """*span* distinct groups, first drawn by the configured
+        distribution, the rest uniformly from the remainder."""
+        assert self.placement is not None
+        first = self._pick_group()
+        others = [group for group in self.placement.groups if group != first]
+        span = min(span, len(others) + 1)
+        return [first] + self.rng.sample(others, span - 1)
+
     def next_transaction(self) -> list[Operation]:
         """The operation list for one transaction (single-group form)."""
         return self._make_ops(self._all_rows)
@@ -196,3 +208,33 @@ class YcsbWorkload:
             return self.config.group, self.next_transaction()
         group = self._pick_group()
         return group, self._make_ops(self._group_rows[group])
+
+    def next_transaction_spec(self) -> tuple[tuple[str, ...], list[Operation]]:
+        """One transaction plus *all* the groups it targets.
+
+        A ``cross_group_fraction`` draw spans several groups: each operation
+        is assigned a group round-robin (so every named group is genuinely
+        touched) and a row within it.  Everything else is the single-group
+        form, ``next_group_transaction`` exactly.
+        """
+        if (
+            self.multi_group
+            and self.config.cross_group_fraction > 0
+            and self.rng.random() < self.config.cross_group_fraction
+        ):
+            groups = self._pick_groups(self.config.cross_group_span)
+            ops: list[Operation] = []
+            for index in range(self.config.ops_per_transaction):
+                kind: OpKind = (
+                    "read" if self.rng.random() < self.config.read_fraction
+                    else "write"
+                )
+                rows = self._group_rows[groups[index % len(groups)]]
+                ops.append(Operation(
+                    kind=kind,
+                    row=rows[self.rng.randrange(len(rows))],
+                    attribute=self.attribute_name(self._pick_attribute()),
+                ))
+            return tuple(groups), ops
+        group, ops = self.next_group_transaction()
+        return (group,), ops

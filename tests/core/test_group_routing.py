@@ -86,13 +86,34 @@ class TestBeginRouting:
         cluster.run()
         assert process.value.group == "group-3"
 
-    def test_begin_needs_exactly_one_of_group_or_key(self):
+    def test_begin_rejects_group_plus_key(self):
         cluster = make_sharded_cluster()
         client = cluster.add_client("V1")
         with pytest.raises(TransactionStateError):
-            next(client.begin())
-        with pytest.raises(TransactionStateError):
             next(client.begin("group-0", key="row0"))
+
+    def test_begin_without_target_opens_cross_group_handle(self):
+        from repro.core.client import MultiGroupHandle
+
+        cluster = make_sharded_cluster()
+        client = cluster.add_client("V1")
+
+        def app():
+            handle = yield from client.begin()
+            return handle
+
+        process = cluster.env.process(app())
+        cluster.run()
+        assert isinstance(process.value, MultiGroupHandle)
+        assert process.value.groups == ()
+
+    def test_begin_without_target_needs_a_placement(self):
+        cluster = Cluster(ClusterConfig(
+            cluster_code="VVV", store=StoreConfig.instant(), jitter=0.0,
+        ))
+        client = cluster.add_client("V1")
+        with pytest.raises(TransactionStateError):
+            next(client.begin())
 
     def test_group_for_exposes_routing(self):
         cluster = make_sharded_cluster()

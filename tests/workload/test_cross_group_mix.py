@@ -1,0 +1,113 @@
+"""The --cross-group-fraction transaction mix and its abort accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import PlacementConfig, WorkloadConfig
+from repro.harness.metrics import RunMetrics
+from repro.harness.report import _abort_histogram, _cross_group_cell
+from repro.model import AbortReason, Placement, Transaction, TransactionOutcome, TransactionStatus
+from repro.workload.ycsb import YcsbWorkload
+
+
+def make_workload(fraction: float, span: int = 2, n_groups: int = 4,
+                  seed: int = 0) -> YcsbWorkload:
+    placement = Placement(PlacementConfig(
+        n_groups=n_groups, assignment="range", key_universe=n_groups,
+    ))
+    config = WorkloadConfig(
+        n_rows=n_groups, n_attributes=10, ops_per_transaction=6,
+        cross_group_fraction=fraction, cross_group_span=span,
+    )
+    return YcsbWorkload(config, random.Random(seed), placement=placement)
+
+
+class TestCrossGroupSpecs:
+    def test_zero_fraction_never_spans_groups(self):
+        workload = make_workload(0.0)
+        for _draw in range(50):
+            groups, _ops = workload.next_transaction_spec()
+            assert len(groups) == 1
+
+    def test_full_fraction_always_spans_the_configured_span(self):
+        workload = make_workload(1.0, span=3)
+        placement = workload.placement
+        for _draw in range(25):
+            groups, ops = workload.next_transaction_spec()
+            assert len(groups) == 3
+            assert len(set(groups)) == 3
+            # Every named group is genuinely touched by some operation.
+            touched = {placement.group_of(op.row) for op in ops}
+            assert touched == set(groups)
+
+    def test_operations_stay_inside_the_named_groups(self):
+        workload = make_workload(1.0)
+        placement = workload.placement
+        for _draw in range(25):
+            groups, ops = workload.next_transaction_spec()
+            for op in ops:
+                assert placement.group_of(op.row) in groups
+
+    def test_span_is_clamped_to_the_group_count(self):
+        workload = make_workload(1.0, span=8, n_groups=3)
+        groups, _ops = workload.next_transaction_spec()
+        assert len(groups) == 3
+
+    def test_config_validates_the_mix_knobs(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(cross_group_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(cross_group_span=1)
+
+
+class TestAbortAccounting:
+    def outcome(self, reason: AbortReason) -> TransactionOutcome:
+        txn = Transaction(
+            tid="t1", group="group-0", read_set=frozenset(),
+            writes=((("row0", "a0"), "v"),), read_position=0,
+        )
+        return TransactionOutcome(
+            transaction=txn, status=TransactionStatus.ABORTED,
+            abort_reason=reason,
+        )
+
+    def test_cross_group_aborts_are_a_distinct_reason(self):
+        metrics = RunMetrics.from_outcomes([
+            self.outcome(AbortReason.CROSS_GROUP),
+            self.outcome(AbortReason.CROSS_GROUP),
+            self.outcome(AbortReason.LOST_POSITION),
+        ])
+        assert metrics.aborts_by_reason["cross_group"] == 2
+        assert metrics.aborts_by_reason["lost_position"] == 1
+
+    def test_report_surfaces_every_abort_reason(self):
+        metrics = RunMetrics.from_outcomes([
+            self.outcome(AbortReason.CROSS_GROUP),
+            self.outcome(AbortReason.PREPARE_FAILED),
+        ])
+        rendered = _abort_histogram(metrics)
+        assert "cross_group:1" in rendered
+        assert "prepare_failed:1" in rendered
+
+    def test_report_surfaces_the_cross_group_slice(self):
+        from repro.model import CROSS_GROUP
+
+        cross = Transaction(
+            tid="g1", group=CROSS_GROUP, read_set=frozenset(),
+            writes=((("group-0/row0", "a0"), "v"),), read_position=-1,
+            groups=("group-0", "group-1"),
+        )
+        metrics = RunMetrics.from_outcomes([
+            TransactionOutcome(
+                transaction=cross, status=TransactionStatus.COMMITTED,
+                begin_time=0.0, end_time=120.0,
+            ),
+            self.outcome(AbortReason.LOST_POSITION),
+        ])
+        assert metrics.cross_group_transactions == 1
+        assert metrics.cross_group_commits == 1
+        assert metrics.mean_cross_commit_latency_ms == 120.0
+        assert _cross_group_cell(metrics) == "1/1"
