@@ -69,6 +69,10 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                              "groups, committed via 2PC (needs --groups > 1)")
     parser.add_argument("--cross-group-span", type=int, default=2,
                         help="groups each cross-group transaction touches")
+    parser.add_argument("--queue-fraction", type=float, default=0.0,
+                        help="fraction of transactions whose remote-group "
+                             "writes become asynchronous queue sends on the "
+                             "single-group fast path (needs --groups > 1)")
     parser.add_argument("--no-fastpath", action="store_true",
                         help="disable the per-position leader optimization")
     parser.add_argument("--max-promotions", type=int, default=None,
@@ -92,6 +96,15 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     if args.cross_group_fraction > 0 and n_groups < 2:
         raise SystemExit(
             "error: --cross-group-fraction needs --groups > 1"
+        )
+    if args.queue_fraction > 0 and n_groups < 2:
+        raise SystemExit(
+            "error: --queue-fraction needs --groups > 1"
+        )
+    if args.queue_fraction > 0 and args.protocol == "leased-leader":
+        raise SystemExit(
+            "error: --queue-fraction is incompatible with leased-leader "
+            "(the delivery pump competes for the receiver's log positions)"
         )
     if args.cross_group_fraction > 0 and args.protocol == "leased-leader":
         raise SystemExit(
@@ -125,6 +138,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             group_distribution=args.group_distribution,
             cross_group_fraction=args.cross_group_fraction,
             cross_group_span=args.cross_group_span,
+            queue_fraction=args.queue_fraction,
         ),
         protocol=args.protocol,
         per_datacenter_instances=args.per_dc,

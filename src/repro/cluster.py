@@ -26,7 +26,16 @@ from typing import Any, Mapping
 from repro.config import ClusterConfig, ProtocolName
 from repro.core.client import TransactionClient
 from repro.core.leased_leader import install_leased_leader
-from repro.core.service import TransactionService
+from repro.core.queues import (
+    DRAIN_ORIGIN,
+    DeliveryTable,
+    QueueDeliveryPump,
+    QueueStats,
+    build_queue_apply,
+    enumerate_sends,
+    first_applies,
+)
+from repro.core.service import TransactionService, ordered_service_names
 from repro.kvstore.service import StoreAccessor, StoreLatencyModel
 from repro.kvstore.store import MultiVersionStore
 from repro.kvstore.txnstatus import (
@@ -37,6 +46,7 @@ from repro.kvstore.txnstatus import (
 from repro.model import (
     Item,
     Placement,
+    QueueSend,
     TransactionOutcome,
     TransactionStatusRecord,
 )
@@ -44,6 +54,7 @@ from repro.net.latency import RttMatrixLatency
 from repro.net.network import Network
 from repro.net.topology import Topology, cluster_preset
 from repro.serializability.checker import (
+    check_queue_delivery,
     is_one_copy_serializable,
     merge_group_histories,
 )
@@ -88,6 +99,10 @@ class Cluster:
         self._client_counters: dict[str, int] = {}
         self._initial_images: dict[str, dict[Item, Any]] = {}
         self._groups: set[str] = set()
+        #: Every delivery pump ever started (restarts append, never replace).
+        self._pumps: list[tuple[str, QueueDeliveryPump]] = []
+        self._pump_counter = 0
+        self._queue_drained = 0
 
         group_homes = dict(self.config.placement.group_homes or {})
         for group, dc in group_homes.items():
@@ -342,6 +357,189 @@ class Cluster:
             decisions[gtid] = committed
         return decisions
 
+    # ------------------------------------------------------------------
+    # Asynchronous cross-group queues: pumps, offline drain, statistics
+    # ------------------------------------------------------------------
+
+    def start_queue_pump(
+        self,
+        group: str,
+        poll_ms: float = 25.0,
+        idle_stop_after: int = 200,
+    ):
+        """Spawn a delivery pump for *group*'s outgoing queue messages.
+
+        The pump runs in the group's home datacenter (durable progress in
+        that store) and terminates once the log stays quiet for
+        ``idle_stop_after`` polls, so :meth:`run` still drains.  Returns the
+        pump's simulation :class:`~repro.sim.process.Process` — the fault
+        injector can kill it mid-flight, and calling this method again
+        starts a fresh pump that resumes from the durable watermark.
+        """
+        home = self.placement.home_of(group, self.home_dc)
+        self._pump_counter += 1
+        pump = QueueDeliveryPump(
+            self.env, self.network, home,
+            name=f"pump:{group}:{self._pump_counter}",
+            sender_group=group,
+            store=self.stores[home],
+            service_names=ordered_service_names(list(self.topology.names), home),
+            config=self.config.protocol,
+        )
+        self._pumps.append((group, pump))
+        return self.env.process(
+            pump.run(poll_ms=poll_ms, idle_stop_after=idle_stop_after),
+            name=pump.node.name,
+        )
+
+    def start_queue_pumps(
+        self, poll_ms: float = 25.0, idle_stop_after: int = 200
+    ) -> dict[str, Any]:
+        """One delivery pump per placement group; ``{group: process}``.
+
+        Call before :meth:`run` (alongside the workload drivers).  Groups
+        outside the placement (ad-hoc names handed to :meth:`preload`) get
+        pumps too if they already hold data.
+        """
+        groups = set(self.placement.groups) | self._groups
+        return {
+            group: self.start_queue_pump(group, poll_ms, idle_stop_after)
+            for group in sorted(groups)
+        }
+
+    def drain_queues(
+        self,
+        logs: dict[str, dict[int, LogEntry]] | None = None,
+        decisions: dict[str, bool] | None = None,
+    ) -> int:
+        """Complete every undelivered queue send, offline; returns the count.
+
+        The queue analogue of :meth:`recover_cross_group`: after the run,
+        any send the pump had not confirmed (pump crashed, idle-stopped, or
+        partitioned away from a quorum) is applied by direct inspection —
+        its ``queue_apply`` entry is recorded at every replica at the
+        receiver's next free position, in stream order, skipping seqnos the
+        log already holds.  Deterministic and idempotent: a second drain
+        finds nothing left to do.
+        """
+        logs = logs if logs is not None else self.finalize_all()
+        if decisions is None:
+            decisions = self.cross_group_decisions()
+        drained = 0
+        next_free: dict[str, int] = {}
+        for sender in sorted(logs):
+            streams = enumerate_sends(sender, logs[sender], decisions)
+            for receiver, sends in sorted(streams.items()):
+                if receiver not in logs:
+                    logs[receiver] = self.finalize(receiver)
+                present = first_applies(logs[receiver], sender)
+                for send in sends:
+                    if (sender, send.seqno) in present:
+                        continue
+                    position = next_free.get(
+                        receiver, max(logs[receiver], default=0) + 1
+                    )
+                    entry = build_queue_apply(
+                        sender, receiver, send.seqno,
+                        QueueSend(target_group=receiver, writes=send.writes),
+                        origin=DRAIN_ORIGIN, origin_dc=self.home_dc,
+                    )
+                    for dc in self.topology.names:
+                        self.services[dc].replica(receiver).record_chosen(
+                            position, entry
+                        )
+                    logs[receiver][position] = entry
+                    next_free[receiver] = position + 1
+                    drained += 1
+        self._queue_drained += drained
+        return drained
+
+    def queue_stats(
+        self,
+        logs: dict[str, dict[int, LogEntry]] | None = None,
+        decisions: dict[str, bool] | None = None,
+        stall_threshold_ms: float = 1000.0,
+    ) -> QueueStats:
+        """Aggregate queue-delivery statistics for the finished run.
+
+        The applied/drained split is derived from the *logs* (the drain's
+        entries carry a sentinel origin), never from pump bookkeeping
+        alone — a pump killed after its append was chosen but before it
+        could confirm still counts as an online delivery.  A send counts
+        as **stalled** when it was committed but not applied within
+        ``stall_threshold_ms`` of the pump first observing it — including
+        every send only the offline drain completed, and any send still
+        undelivered in the supplied logs (no drain ran).  Stalls are the
+        queue path's availability failure mode and the report surfaces
+        them as their own condition.
+        """
+        logs = logs if logs is not None else self.finalize_all()
+        if decisions is None:
+            decisions = self.cross_group_decisions()
+        stats = QueueStats(stall_threshold_ms=stall_threshold_ms)
+        for sender in sorted(logs):
+            for sends in enumerate_sends(sender, logs[sender], decisions).values():
+                stats.sends += len(sends)
+        for receiver in sorted(logs):
+            log = logs[receiver]
+            for position in first_applies(log).values():
+                if log[position].transactions[0].origin == DRAIN_ORIGIN:
+                    stats.drained_offline += 1
+                else:
+                    stats.applied_online += 1
+        # Lag is only known for messages a pump *confirmed*; a restarted
+        # pump re-confirms its predecessor's unrecorded tail, so dedupe the
+        # records per stream slot, keeping the earliest confirmation.
+        confirmed: dict[tuple[str, str, int], Any] = {}
+        for _group, pump in self._pumps:
+            stats.max_depth = max(stats.max_depth, pump.max_depth)
+            for record in pump.delivered:
+                key = (record.sender_group, record.receiver_group, record.seqno)
+                kept = confirmed.get(key)
+                if kept is None or record.applied_ms < kept.applied_ms:
+                    confirmed[key] = record
+        lags = [record.lag_ms for record in confirmed.values()]
+        if lags:
+            stats.mean_lag_ms = sum(lags) / len(lags)
+            stats.max_lag_ms = max(lags)
+        stats.undelivered = max(
+            0, stats.sends - stats.applied_online - stats.drained_offline
+        )
+        stats.stalled = stats.drained_offline + stats.undelivered + sum(
+            1 for lag in lags if lag > stall_threshold_ms
+        )
+        return stats
+
+    def _check_delivery_records(
+        self, logs: dict[str, dict[int, LogEntry]],
+        decisions: dict[str, bool],
+    ) -> list[str]:
+        """Sanity of the durable receiver records against the logs.
+
+        Every seqno a datacenter marked applied must name a send the stream
+        actually committed — a phantom mark would let the dedup layer
+        swallow a legitimate future message.
+        """
+        violations: list[str] = []
+        expected: dict[tuple[str, str], set[int]] = {}
+        for sender in sorted(logs):
+            for receiver, sends in enumerate_sends(
+                sender, logs[sender], decisions
+            ).items():
+                expected[(receiver, sender)] = {send.seqno for send in sends}
+        for dc in self.topology.names:
+            table = DeliveryTable(self.stores[dc])
+            for receiver in sorted(logs):
+                for sender, seqnos in table.streams_into(receiver).items():
+                    extra = seqnos - expected.get((receiver, sender), set())
+                    if extra:
+                        violations.append(
+                            f"(queue) {dc} marked seqnos {sorted(extra)} of "
+                            f"stream {sender}->{receiver} applied, but the "
+                            f"sender log never committed them"
+                        )
+        return violations
+
     def check_cross_group_invariants(
         self,
         outcomes: list[TransactionOutcome],
@@ -510,7 +708,7 @@ class Cluster:
         outcomes: list[TransactionOutcome],
         strict_timeouts: bool = False,
         logs: dict[str, dict[int, LogEntry]] | None = None,
-    ) -> None:
+    ) -> dict[str, bool]:
         """Run :meth:`check_invariants` over every group.
 
         Outcomes are routed to their transaction's group; each group's log
@@ -528,6 +726,16 @@ class Cluster:
         resulting decision map gates every per-group check, and
         :meth:`check_cross_group_invariants` adds the atomicity,
         no-orphaned-prepare, and *global* serializability obligations.
+
+        Runs with queue traffic are first drained (:meth:`drain_queues` —
+        eventual delivery is an obligation *at quiescence*), then checked
+        against the delivery invariant: every committed send applied exactly
+        once at its receiver, in sender order, with redeliveries reduced to
+        byte-identical shadows and no phantom durable delivery marks.
+
+        Returns the resolved 2PC decision map so callers (e.g.
+        :meth:`queue_stats`) can reuse it instead of re-deriving it by
+        store inspection.
         """
         by_group: dict[str, list[TransactionOutcome]] = {
             group: [] for group in self.groups
@@ -543,6 +751,12 @@ class Cluster:
             if group not in logs:
                 logs[group] = self.finalize(group)
         decisions = self.recover_cross_group(logs)
+        queue_active = any(
+            entry.kind == "queue_apply" or entry.queue_sends
+            for log in logs.values() for entry in log.values()
+        )
+        if queue_active:
+            self.drain_queues(logs, decisions)
         seen_tids: dict[str, str] = {}
         cross_group: list[str] = []
         for group, log in logs.items():
@@ -565,3 +779,9 @@ class Cluster:
             entry.kind != "data" for log in logs.values() for entry in log.values()
         ):
             self.check_cross_group_invariants(cross_outcomes, logs, decisions)
+        if queue_active:
+            violations = check_queue_delivery(logs, decisions)
+            violations += self._check_delivery_records(logs, decisions)
+            if violations:
+                raise InvariantViolation(violations)
+        return decisions

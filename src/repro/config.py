@@ -219,6 +219,13 @@ class WorkloadConfig:
     cross_group_fraction: float = 0.0
     #: How many distinct groups a cross-group transaction touches.
     cross_group_span: int = 2
+    #: Fraction of (non-2PC) transactions that stay pinned to one group but
+    #: *enqueue* their remote writes as asynchronous queue sends — the
+    #: paper's other cross-group tool.  They commit down the fast
+    #: single-group path; a delivery pump applies the sends later.  Drawn
+    #: after the cross-group draw, so the effective share of the whole mix
+    #: is ``queue_fraction * (1 - cross_group_fraction)``.
+    queue_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
@@ -226,6 +233,10 @@ class WorkloadConfig:
         if not 0.0 <= self.cross_group_fraction <= 1.0:
             raise ValueError(
                 f"cross_group_fraction must be in [0,1], got {self.cross_group_fraction}"
+            )
+        if not 0.0 <= self.queue_fraction <= 1.0:
+            raise ValueError(
+                f"queue_fraction must be in [0,1], got {self.queue_fraction}"
             )
         if self.cross_group_span < 2:
             raise ValueError(

@@ -42,6 +42,7 @@ from repro.model import (
     AbortReason,
     Item,
     Placement,
+    QueueSend,
     Transaction,
     TransactionOutcome,
     TransactionStatus,
@@ -53,6 +54,7 @@ from repro.core.service import (
     BeginRequest,
     ReadReply,
     ReadRequest,
+    ordered_service_names,
     service_name,
 )
 from repro.net.node import Node
@@ -76,6 +78,9 @@ class TransactionHandle:
     read_snapshot: list[tuple[Item, Any]] = field(default_factory=list)
     write_buffer: dict[Item, Any] = field(default_factory=dict)
     write_order: list[tuple[Item, Any]] = field(default_factory=list)
+    #: Deferred remote writes, per target group (the queue alternative to
+    #: 2PC): buffered like writes, made durable by this group's commit entry.
+    queue_buffer: dict[str, list[tuple[Item, Any]]] = field(default_factory=dict)
     active: bool = True
     #: False while a write-only sub-handle of a cross-group transaction has
     #: not yet fixed its read position (``read_position`` is -1 then).
@@ -188,8 +193,7 @@ class TransactionClient:
 
     def service_names(self) -> list[str]:
         """All Transaction Service node names, local datacenter first."""
-        ordered = [self.datacenter] + [dc for dc in self.datacenters if dc != self.datacenter]
-        return [service_name(dc) for dc in ordered]
+        return ordered_service_names(self.datacenters, self.datacenter)
 
     def service_in(self, datacenter: str) -> str | None:
         """Service node name in *datacenter*, if it is part of the deployment."""
@@ -361,6 +365,42 @@ class TransactionClient:
         handle.write_buffer[item] = value
         handle.write_order.append((item, value))
 
+    def enqueue(self, handle: TransactionHandle | MultiGroupHandle,
+                row: str, attribute: str, value: Any) -> None:
+        """Defer a write to another group's row (the queue path, no 2PC).
+
+        The send is buffered like a write and becomes durable with this
+        transaction's own commit entry on the fast single-group path; a
+        delivery pump later applies it at *row*'s group exactly once, in
+        send order per (sender, receiver) stream.  Unlike :meth:`write` the
+        target row must route *outside* the transaction's group — a local
+        deferred write would just be a write — and unlike 2PC the commit
+        gives no atomic visibility: the remote write lands eventually.
+
+        Cross-group (2PC) handles cannot enqueue: they already write remote
+        groups atomically, and mixing the two disciplines in one transaction
+        would leave half its remote effects outside the all-or-nothing
+        guarantee.
+        """
+        self._require_active(handle)
+        if isinstance(handle, MultiGroupHandle):
+            raise TransactionStateError(
+                "enqueue: cross-group (2PC) transactions write remote groups "
+                "directly; queues are the single-group alternative"
+            )
+        if self.placement is None:
+            raise TransactionStateError(
+                "enqueue: this client has no placement to route the send "
+                "(single-group deployments have no remote groups)"
+            )
+        target = self.placement.group_of(row)
+        if target == handle.group:
+            raise TransactionStateError(
+                f"enqueue: {row!r} routes to the transaction's own group "
+                f"{handle.group!r}; use write() for local rows"
+            )
+        handle.queue_buffer.setdefault(target, []).append(((row, attribute), value))
+
     def commit(self, handle: TransactionHandle | MultiGroupHandle) -> Generator:
         """Try to commit (§4 step 4); returns a :class:`TransactionOutcome`.
 
@@ -471,6 +511,12 @@ class TransactionClient:
             origin=self.node.name,
             origin_dc=self.datacenter,
             read_snapshot=tuple(handle.read_snapshot),
+            # Sorted by target so every enumeration of the log derives the
+            # same per-stream send order (seqnos must be crash-stable).
+            sends=tuple(
+                QueueSend(target_group=group, writes=tuple(writes))
+                for group, writes in sorted(handle.queue_buffer.items())
+            ),
         )
 
     def _build_empty_transaction(self) -> Transaction:

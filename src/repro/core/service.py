@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.config import ProtocolConfig
+from repro.core.queues import DeliveryTable
 from repro.kvstore.service import StoreAccessor
 from repro.kvstore.store import MultiVersionStore
 from repro.kvstore.txnstatus import (
@@ -92,6 +93,16 @@ def service_name(datacenter: str) -> str:
     return f"svc:{datacenter}"
 
 
+def ordered_service_names(datacenters: list[str], local: str) -> list[str]:
+    """All Transaction Service names, *local*'s own service first.
+
+    The canonical failover/proposal order every client-like actor
+    (Transaction Clients, queue delivery pumps) uses.
+    """
+    ordered = [local] + [dc for dc in datacenters if dc != local]
+    return [service_name(dc) for dc in ordered]
+
+
 class TransactionService:
     """One datacenter's transaction tier endpoint."""
 
@@ -116,6 +127,7 @@ class TransactionService:
         self.node = Node(env, network, service_name(datacenter), datacenter)
         self.acceptor = Acceptor(self.accessor)
         self.txn_status = TxnStatusTable(store)
+        self.delivery = DeliveryTable(store)
         self._replicas: dict[str, LogReplica] = {}
         self._apply_locks: dict[str, Lock] = {}
         self._leader_claims: dict[tuple[str, int], str] = {}
@@ -267,6 +279,29 @@ class TransactionService:
                         committed=entry.kind == "commit",
                         participants=entry.participants,
                     ))
+                    replica.mark_applied(next_position)
+                    continue
+                if entry.kind == "queue_apply":
+                    # Idempotent delivery: a redelivered message (pump crash
+                    # between append and progress write) applies nothing the
+                    # second time.  The durable per-stream record — not the
+                    # in-memory watermark — is what deduplicates, so it
+                    # survives anything that survives the store.
+                    assert entry.sender_group is not None
+                    assert entry.queue_seqno is not None
+                    if self.delivery.is_applied(
+                        group, entry.sender_group, entry.queue_seqno
+                    ):
+                        replica.mark_applied(next_position)
+                        continue
+                    for row, attributes in entry.write_image().items():
+                        yield self.accessor.write(
+                            data_row_key(group, row), attributes,
+                            timestamp=next_position,
+                        )
+                    self.delivery.mark_applied(
+                        group, entry.sender_group, entry.queue_seqno
+                    )
                     replica.mark_applied(next_position)
                     continue
                 if entry.kind == "prepare":

@@ -40,6 +40,9 @@ class ExperimentSpec:
     per_datacenter_instances: bool = False
     check_invariants: bool = True
     client_datacenter: str | None = None
+    #: A queue send counts as *stalled* when committed but unapplied past
+    #: this lag (the report surfaces stalls as their own condition).
+    queue_stall_threshold_ms: float = 1000.0
 
     def scaled(self, n_transactions: int) -> "ExperimentSpec":
         """The same cell with a smaller transaction budget (for CI runs)."""
@@ -77,20 +80,34 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
     drivers[0].install_data()
     for driver in drivers:
         driver.start()
+    if spec.workload.queue_fraction > 0:
+        cluster.start_queue_pumps()
     cluster.run()
     # Merge every group's log for the aggregate statistics; group logs are
     # independent position sequences, so the merged view keys by
     # (group, position).
     group_logs = cluster.finalize_all()
+    outcomes = [outcome for driver in drivers for outcome in driver.result.outcomes]
+    decisions = None
+    if spec.check_invariants:
+        # Also drains undelivered queue sends and verifies exactly-once
+        # delivery, mutating group_logs with the drained applies; returns
+        # the resolved 2PC decision map for reuse below.
+        decisions = cluster.check_invariants_all(outcomes, logs=group_logs)
+    queue = None
+    if spec.workload.queue_fraction > 0:
+        queue = cluster.queue_stats(
+            group_logs, decisions,
+            stall_threshold_ms=spec.queue_stall_threshold_ms,
+        )
     log = {
         (group, position): entry
         for group, group_log in group_logs.items()
         for position, entry in group_log.items()
     }
-    outcomes = [outcome for driver in drivers for outcome in driver.result.outcomes]
-    if spec.check_invariants:
-        cluster.check_invariants_all(outcomes, logs=group_logs)
-    metrics = RunMetrics.from_outcomes(outcomes, protocol=spec.protocol, log=log)
+    metrics = RunMetrics.from_outcomes(
+        outcomes, protocol=spec.protocol, log=log, queue=queue
+    )
     per_instance = {
         driver.result.datacenter: RunMetrics.from_outcomes(
             driver.result.outcomes, protocol=spec.protocol

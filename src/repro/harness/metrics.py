@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from statistics import fmean, median
 from typing import Hashable, Iterable, Mapping
 
+from repro.core.queues import QueueStats
 from repro.model import AbortReason, TransactionOutcome
 from repro.wal.entry import LogEntry
 
@@ -35,6 +36,7 @@ class LogStats:
     max_entry_size: int = 0
     prepare_entries: int = 0
     marker_entries: int = 0
+    queue_apply_entries: int = 0
 
     @classmethod
     def from_log(cls, log: Mapping[Hashable, LogEntry]) -> "LogStats":
@@ -47,6 +49,9 @@ class LogStats:
                 continue
             if entry.is_marker:
                 stats.marker_entries += 1
+                continue
+            if entry.kind == "queue_apply":
+                stats.queue_apply_entries += 1
                 continue
             if len(entry) > 1:
                 stats.combined_entries += 1
@@ -76,6 +81,12 @@ class RunMetrics:
     cross_group_transactions: int = 0
     cross_group_commits: int = 0
     mean_cross_commit_latency_ms: float = float("nan")
+    #: Asynchronous-queue slice of the run.
+    queue_send_transactions: int = 0
+    queue_send_commits: int = 0
+    queue_sends: int = 0
+    mean_queue_commit_latency_ms: float = float("nan")
+    queue: QueueStats = field(default_factory=QueueStats)
 
     @property
     def aborts(self) -> int:
@@ -93,12 +104,16 @@ class RunMetrics:
         outcomes: Iterable[TransactionOutcome],
         protocol: str = "",
         log: Mapping[Hashable, LogEntry] | None = None,
+        queue: QueueStats | None = None,
     ) -> "RunMetrics":
         outcomes = list(outcomes)
         metrics = cls(protocol=protocol, n_transactions=len(outcomes))
+        if queue is not None:
+            metrics.queue = queue
         commit_latencies: list[float] = []
         all_latencies: list[float] = []
         cross_latencies: list[float] = []
+        queue_latencies: list[float] = []
         per_round: dict[int, list[float]] = {}
         for outcome in outcomes:
             all_latencies.append(outcome.latency_ms)
@@ -111,6 +126,12 @@ class RunMetrics:
                 if outcome.committed:
                     metrics.cross_group_commits += 1
                     cross_latencies.append(outcome.latency_ms)
+            if outcome.transaction.sends:
+                metrics.queue_send_transactions += 1
+                if outcome.committed:
+                    metrics.queue_send_commits += 1
+                    metrics.queue_sends += len(outcome.transaction.sends)
+                    queue_latencies.append(outcome.latency_ms)
             if outcome.committed:
                 metrics.commits += 1
                 metrics.commits_by_round[outcome.promotions] = (
@@ -133,6 +154,8 @@ class RunMetrics:
             metrics.mean_all_latency_ms = fmean(all_latencies)
         if cross_latencies:
             metrics.mean_cross_commit_latency_ms = fmean(cross_latencies)
+        if queue_latencies:
+            metrics.mean_queue_commit_latency_ms = fmean(queue_latencies)
         metrics.latency_by_round = {
             round_: fmean(values) for round_, values in sorted(per_round.items())
         }
@@ -185,6 +208,36 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
     result.mean_cross_commit_latency_ms = _safe_mean(
         [t.mean_cross_commit_latency_ms for t in trials]
     )
+    result.queue_send_transactions = round(
+        fmean(t.queue_send_transactions for t in trials)
+    )
+    result.queue_send_commits = round(fmean(t.queue_send_commits for t in trials))
+    result.queue_sends = round(fmean(t.queue_sends for t in trials))
+    result.mean_queue_commit_latency_ms = _safe_mean(
+        [t.mean_queue_commit_latency_ms for t in trials]
+    )
+    # The three delivery buckets are averaged individually and the send
+    # total re-derived from them, so independent rounding can never break
+    # the ``applied + drained + undelivered == sends`` identity — and a
+    # trial with genuinely undelivered sends stays visible as such instead
+    # of being reclassified by the rounding.
+    applied_online = round(fmean(t.queue.applied_online for t in trials))
+    drained_offline = round(fmean(t.queue.drained_offline for t in trials))
+    undelivered = round(fmean(t.queue.undelivered for t in trials))
+    result.queue = QueueStats(
+        sends=applied_online + drained_offline + undelivered,
+        applied_online=applied_online,
+        drained_offline=drained_offline,
+        undelivered=undelivered,
+        max_depth=max(t.queue.max_depth for t in trials),
+        mean_lag_ms=_safe_mean([t.queue.mean_lag_ms for t in trials]),
+        max_lag_ms=max(
+            (t.queue.max_lag_ms for t in trials if t.queue.max_lag_ms == t.queue.max_lag_ms),
+            default=float("nan"),
+        ),
+        stalled=round(fmean(t.queue.stalled for t in trials)),
+        stall_threshold_ms=trials[0].queue.stall_threshold_ms,
+    )
     result.log = LogStats(
         positions=round(fmean(t.log.positions for t in trials)),
         combined_entries=round(fmean(t.log.combined_entries for t in trials)),
@@ -192,5 +245,6 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
         max_entry_size=max(t.log.max_entry_size for t in trials),
         prepare_entries=round(fmean(t.log.prepare_entries for t in trials)),
         marker_entries=round(fmean(t.log.marker_entries for t in trials)),
+        queue_apply_entries=round(fmean(t.log.queue_apply_entries for t in trials)),
     )
     return result

@@ -54,6 +54,26 @@ def _cross_group_cell(metrics: RunMetrics) -> str:
     return f"{metrics.cross_group_commits}/{metrics.cross_group_transactions}"
 
 
+def _queue_cell(metrics: RunMetrics) -> str:
+    """Queue delivery: ``applied/sends ~lag`` plus a loud stall marker.
+
+    A *stall* — a send committed but unapplied past the configured lag
+    threshold (including sends only the offline drain completed) — is a
+    distinct failure condition of the asynchronous path, so it is surfaced
+    by name instead of vanishing into the aggregate latency columns.
+    """
+    queue = metrics.queue
+    if queue.sends == 0 and metrics.queue_send_transactions == 0:
+        return "-"
+    applied = queue.applied_online + queue.drained_offline
+    cell = f"{applied}/{queue.sends}"
+    if queue.mean_lag_ms == queue.mean_lag_ms:  # not NaN
+        cell += f" ~{queue.mean_lag_ms:.0f}ms"
+    if queue.stalled:
+        cell += f" STALLED:{queue.stalled}"
+    return cell
+
+
 def _round_histogram(metrics: RunMetrics, max_rounds: int = 4) -> str:
     """Commits per promotion round as ``r0:312 r1:74 r2:21 ...``."""
     if not metrics.commits_by_round:
@@ -75,7 +95,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
     headers = [
         "cell", "protocol", "txns", "commits", "rate",
         "by promotion round", "lat ms (commit)", "lat ms (all)",
-        "combined", "max promo", "xgroup", "aborts by reason",
+        "combined", "max promo", "xgroup", "queue", "aborts by reason",
     ]
     rows = []
     for result in results:
@@ -92,6 +112,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             str(metrics.log.combined_entries),
             str(metrics.max_promotions),
             _cross_group_cell(metrics),
+            _queue_cell(metrics),
             _abort_histogram(metrics),
         ])
     table = format_table(headers, rows)

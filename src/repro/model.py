@@ -151,6 +151,36 @@ class AbortReason(enum.Enum):
 
 
 @dataclass(frozen=True)
+class QueueSend:
+    """A deferred cross-group message riding in a committing transaction.
+
+    The paper's second cross-group tool (§2, after Megastore's queues): a
+    transaction scoped to one entity group may *enqueue* writes against rows
+    of other groups.  The sends become durable with the sender's own commit
+    entry — no prepare round, no in-doubt window — and a delivery pump later
+    applies them at each receiver as separate, idempotent ``queue_apply``
+    log entries (see :mod:`repro.core.queues`).
+
+    ``writes`` are ordered ``(item, value)`` pairs on the *receiver's* rows;
+    the sender's own ``writes`` never include them.
+    """
+
+    target_group: str
+    writes: tuple[tuple[Item, Any], ...]
+
+    @property
+    def write_set(self) -> frozenset[Item]:
+        return frozenset(item for item, _value in self.writes)
+
+    def write_image(self) -> dict[str, dict[str, Any]]:
+        """Writes grouped by row: ``{row_key: {attribute: value}}``."""
+        image: dict[str, dict[str, Any]] = {}
+        for (row, attribute), value in self.writes:
+            image.setdefault(row, {})[attribute] = value
+        return image
+
+
+@dataclass(frozen=True)
 class Transaction:
     """A read/write transaction in the form the commit protocol ships around.
 
@@ -183,6 +213,11 @@ class Transaction:
         names every participant entity group; the per-group branches that
         actually enter the logs are separate :class:`Transaction` records
         built by the 2PC coordinator.
+    sends:
+        Deferred messages to *other* groups (:class:`QueueSend`), one per
+        target group, sorted by target.  They become durable with this
+        transaction's commit entry and are applied asynchronously by the
+        queue delivery pump — never by this transaction's own apply.
     """
 
     tid: str
@@ -194,6 +229,7 @@ class Transaction:
     origin_dc: str = ""
     read_snapshot: tuple[tuple[Item, Any], ...] = ()
     groups: tuple[str, ...] = ()
+    sends: tuple[QueueSend, ...] = ()
 
     @property
     def is_cross_group(self) -> bool:
@@ -207,8 +243,13 @@ class Transaction:
 
     @property
     def is_read_only(self) -> bool:
-        """Read-only transactions never enter the commit protocol."""
-        return not self.writes
+        """Read-only transactions never enter the commit protocol.
+
+        A transaction that *only* enqueues remote writes is not read-only:
+        its sends need the durability of a log entry, so it commits through
+        the protocol like any writer.
+        """
+        return not self.writes and not self.sends
 
     def reads_from(self, other: "Transaction") -> bool:
         """True if this transaction read an item *other* writes.

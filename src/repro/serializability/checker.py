@@ -17,6 +17,12 @@ Three procedures:
   transactions whose single-copy execution produces the same reads-from
   relation.  Exponential; used in tests to cross-validate the MVSG test on
   small randomized histories.
+* :func:`check_queue_delivery` — the asynchronous-queue layer's delivery
+  obligation: every committed send is applied at its receiver **exactly
+  once** and **in sender order** per stream, with redelivered duplicates
+  (pump crashes) reduced to byte-identical shadows.  This is the eventual
+  half of the paper's trade-off: queue transactions give up the atomic
+  visibility of 2PC, never the integrity of the deferred writes.
 """
 
 from __future__ import annotations
@@ -24,8 +30,10 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Mapping
 
+from repro.core.queues import StreamSend, enumerate_sends
 from repro.serializability.graph import build_mvsg, find_cycle, serial_order_from_graph
 from repro.serializability.history import INITIAL, HistoryTxn, MVHistory, serial_reads_from
+from repro.wal.entry import LogEntry
 
 
 def is_one_copy_serializable(history: MVHistory) -> tuple[bool, list[str] | None]:
@@ -98,6 +106,95 @@ def merge_group_histories(
             writes=frozenset(writes[tid]),
         ))
     return merged
+
+
+def check_queue_delivery(
+    logs: Mapping[str, Mapping[int, LogEntry]],
+    decisions: Mapping[str, bool] | None = None,
+    require_delivery: bool = True,
+) -> list[str]:
+    """The queue layer's correctness obligations, over finalized logs.
+
+    * every committed send is applied at its receiver (eventual delivery;
+      skipped when ``require_delivery`` is False, for mid-run snapshots);
+    * no message takes effect twice — occurrences beyond the first are
+      shadows, and every occurrence of a stream key carries the identical
+      payload (a divergent twin would mean two pumps invented different
+      messages for one stream slot);
+    * first occurrences of one stream appear in seqno (= sender) order;
+    * no phantom applies: every queue_apply matches an enumerated send,
+      with the exact writes the sender enqueued.
+
+    Returns the violations (empty = the invariant holds); callers that want
+    an exception wrap it, like the other §3 checkers.
+    """
+    violations: list[str] = []
+    # Streams are keyed by the full (sender, receiver, seqno) triple: the
+    # in-entry queue_key is (sender, seqno) because the receiver is implied
+    # by whose log the entry sits in.
+    expected: dict[tuple[str, str, int], StreamSend] = {}
+    for sender, log in sorted(logs.items()):
+        for receiver, sends in enumerate_sends(sender, log, decisions).items():
+            for send in sends:
+                expected[(sender, receiver, send.seqno)] = send
+
+    applied: set[tuple[str, str, int]] = set()
+    for receiver, log in sorted(logs.items()):
+        occurrences: dict[tuple[str, int], LogEntry] = {}
+        last_first: dict[str, tuple[int, int]] = {}  # sender -> (seqno, pos)
+        for position in sorted(log):
+            entry = log[position]
+            key = entry.queue_key
+            if key is None:
+                continue
+            sender, seqno = key
+            known = occurrences.get(key)
+            if known is not None:
+                # Shadows must carry the first occurrence's *payload*; the
+                # bookkeeping fields (origin of the appending pump
+                # incarnation) are allowed to differ.
+                if known.transactions[0].writes != entry.transactions[0].writes:
+                    violations.append(
+                        f"(queue) redelivery of {key} in {receiver} at "
+                        f"position {position} differs from its first occurrence"
+                    )
+                continue
+            occurrences[key] = entry
+            send = expected.get((sender, receiver, seqno))
+            if send is None:
+                violations.append(
+                    f"(queue) phantom apply in {receiver} at position "
+                    f"{position}: no committed send of {sender} has seqno "
+                    f"{seqno} for this group"
+                )
+                continue
+            if tuple(entry.transactions[0].writes) != send.writes:
+                violations.append(
+                    f"(queue) apply of {key} in {receiver} at position "
+                    f"{position} carries writes "
+                    f"{entry.transactions[0].writes!r}, sender enqueued "
+                    f"{send.writes!r}"
+                )
+            previous = last_first.get(sender)
+            if previous is not None and seqno < previous[0]:
+                violations.append(
+                    f"(queue) stream {sender}->{receiver} out of order: "
+                    f"seqno {seqno} first lands at position {position}, "
+                    f"after seqno {previous[0]} at {previous[1]}"
+                )
+            if previous is None or seqno > previous[0]:
+                last_first[sender] = (seqno, position)
+            applied.add((sender, receiver, seqno))
+
+    if require_delivery:
+        for key, send in sorted(expected.items()):
+            if key not in applied:
+                violations.append(
+                    f"(queue) dropped send: {send.sender_tid} (position "
+                    f"{send.sender_position} of {send.sender_group}) enqueued "
+                    f"seqno {send.seqno} for {send.receiver_group}, never applied"
+                )
+    return violations
 
 
 def brute_force_one_copy_serializable(

@@ -16,6 +16,16 @@ three more entry kinds:
   record the resolution of an earlier prepare (carrying no transactions and
   applying nothing); as the value of a transaction-status Paxos instance
   they *are* the durable all-or-nothing decision.
+
+The asynchronous queue layer (Megastore's intra-datastore queues) adds one
+more:
+
+* ``"queue_apply"`` — the receiver-side application of one deferred
+  :class:`~repro.model.QueueSend`.  It carries exactly one blind-write
+  transaction plus the message's stream identity ``(sender_group, seqno)``;
+  redelivery after a pump crash may land the *same* message at several
+  positions, and the apply path deduplicates by that key (only the first
+  occurrence in log order takes effect).
 """
 
 from __future__ import annotations
@@ -23,10 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Literal
 
-from repro.model import Transaction, is_serializable_sequence
+from repro.model import QueueSend, Transaction, is_serializable_sequence
 
 #: What a decided log entry means to the apply path.
-EntryKind = Literal["data", "prepare", "commit", "abort"]
+EntryKind = Literal["data", "prepare", "commit", "abort", "queue_apply"]
 
 #: Entry kinds that carry no transactions and apply no writes.
 MARKER_KINDS = ("commit", "abort")
@@ -49,6 +59,9 @@ class LogEntry:
     kind: EntryKind = "data"
     gtid: str | None = None
     participants: tuple[str, ...] = ()
+    #: Stream identity of a ``queue_apply`` entry; ``None`` otherwise.
+    sender_group: str | None = None
+    queue_seqno: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind in MARKER_KINDS:
@@ -64,6 +77,14 @@ class LogEntry:
                 raise ValueError("a prepare entry needs a gtid and participants")
             if len(self.transactions) != 1:
                 raise ValueError("a prepare entry carries exactly one branch")
+        if self.kind == "queue_apply":
+            if self.sender_group is None or self.queue_seqno is None:
+                raise ValueError(
+                    "a queue_apply entry needs its stream identity "
+                    "(sender_group, queue_seqno)"
+                )
+            if len(self.transactions) != 1:
+                raise ValueError("a queue_apply entry carries exactly one message")
 
     @classmethod
     def single(cls, transaction: Transaction) -> "LogEntry":
@@ -104,9 +125,45 @@ class LogEntry:
             participants=tuple(participants),
         )
 
+    @classmethod
+    def queue_apply(
+        cls, message: Transaction, sender_group: str, seqno: int
+    ) -> "LogEntry":
+        """The receiver-side application of one deferred queue send."""
+        return cls(
+            transactions=(message,),
+            kind="queue_apply",
+            sender_group=sender_group,
+            queue_seqno=seqno,
+        )
+
     @property
     def is_marker(self) -> bool:
         return self.kind in MARKER_KINDS
+
+    @property
+    def queue_key(self) -> tuple[str, int] | None:
+        """Stream identity ``(sender_group, seqno)`` of a queue_apply entry.
+
+        The apply path and the offline checkers deduplicate redeliveries by
+        this key; ``None`` for every other entry kind.
+        """
+        if self.kind != "queue_apply":
+            return None
+        assert self.sender_group is not None and self.queue_seqno is not None
+        return (self.sender_group, self.queue_seqno)
+
+    @property
+    def queue_sends(self) -> tuple[QueueSend, ...]:
+        """Every deferred send this entry makes durable, in member order.
+
+        Only ``data`` entries carry sends today (2PC branches cannot enqueue
+        and applies are blind writes), but the accessor is kind-agnostic so
+        the delivery pump never silently drops a payload.
+        """
+        return tuple(
+            send for txn in self.transactions for send in txn.sends
+        )
 
     @property
     def tids(self) -> tuple[str, ...]:

@@ -29,6 +29,14 @@ COMMIT; aborted prepares and commit/abort markers contribute nothing.  The
 checkers take the resolved ``decisions`` map (gtid → committed) and treat an
 *unresolved* prepare as its own violation — after recovery, an in-doubt
 prepare is an orphan (the no-orphaned-prepare invariant).
+
+The asynchronous queue layer adds ``queue_apply`` entries whose defining
+property is *at-least-once append, exactly-once effect*: a delivery-pump
+crash legitimately lands the same message at several log positions, and only
+the first occurrence (by the entry's ``(sender_group, seqno)`` stream key)
+takes effect.  :func:`queue_shadow_positions` identifies the redelivered
+shadows; every replay-based checker skips them, exactly as the runtime apply
+path does.
 """
 
 from __future__ import annotations
@@ -62,6 +70,25 @@ def global_log(replicas: list[LogReplica]) -> dict[int, Any]:
     return merged
 
 
+def queue_shadow_positions(log: Mapping[int, LogEntry]) -> set[int]:
+    """Positions holding a *redelivered* queue_apply entry.
+
+    A pump crash can append the same message (same ``(sender_group, seqno)``
+    stream key) at several positions; only the first occurrence in log order
+    takes effect.  The later ones are shadows: the apply path skips them and
+    so must every replay.  The first-occurrence rule has exactly one
+    implementation (:func:`repro.core.queues.first_applies`) so the replays
+    here can never drift from the delivery checker and the drain.
+    """
+    from repro.core.queues import first_applies
+
+    firsts = set(first_applies(log).values())
+    return {
+        position for position in log
+        if log[position].queue_key is not None and position not in firsts
+    }
+
+
 def effective_transactions(
     entry: LogEntry, decisions: Mapping[str, bool] | None = None
 ) -> tuple[Transaction, ...]:
@@ -69,9 +96,12 @@ def effective_transactions(
 
     Data entries contribute every member; a prepare entry contributes its
     branch iff its transaction's decision is COMMIT; markers and aborted or
-    unresolved prepares contribute nothing.
+    unresolved prepares contribute nothing.  A queue_apply entry contributes
+    its message — *unless* it is a redelivery shadow, which only
+    :func:`queue_shadow_positions` can see (log-wide context); callers
+    replaying whole logs must skip shadow positions.
     """
-    if entry.kind == "data":
+    if entry.kind in ("data", "queue_apply"):
         return entry.transactions
     if entry.kind == "prepare" and (decisions or {}).get(entry.gtid or ""):
         return entry.transactions
@@ -83,13 +113,15 @@ def effective_log(
 ) -> dict[int, LogEntry]:
     """The committed content of *log*: positions whose entry took effect.
 
-    Positions occupied by markers or non-committed prepares are omitted —
-    they applied nothing, so replays and history constructions skip them.
+    Positions occupied by markers, non-committed prepares, or redelivered
+    queue_apply shadows are omitted — they applied nothing, so replays and
+    history constructions skip them.
     """
+    shadows = queue_shadow_positions(log)
     return {
         position: entry
         for position, entry in log.items()
-        if effective_transactions(entry, decisions)
+        if position not in shadows and effective_transactions(entry, decisions)
     }
 
 
@@ -178,13 +210,15 @@ def check_read_only_consistency(
     """
     violations: list[str] = []
     log = global_log(replicas)
+    shadows = queue_shadow_positions(log)
     # Precompute the state after each position once.
     states: dict[int, dict[Item, Any]] = {0: dict(initial_image or {})}
     state = dict(states[0])
     for position in sorted(log):
-        for txn in effective_transactions(log[position], decisions):
-            for item, value in txn.writes:
-                state[item] = value
+        if position not in shadows:
+            for txn in effective_transactions(log[position], decisions):
+                for item, value in txn.writes:
+                    state[item] = value
         states[position] = dict(state)
     max_known = max(states)
     for outcome in outcomes:
@@ -215,11 +249,20 @@ def check_read_only_consistency(
 
 
 def check_l2_single_position(replicas: list[LogReplica]) -> list[str]:
-    """(L2): each transaction occupies exactly one log position."""
+    """(L2): each transaction occupies exactly one log position.
+
+    Queue redelivery shadows are exempt: a pump crash legitimately lands the
+    same message at several positions, and only the first takes effect (the
+    queue delivery invariant separately verifies the shadows are byte-equal
+    twins of their first occurrence).
+    """
     violations: list[str] = []
     log = global_log(replicas)
+    shadows = queue_shadow_positions(log)
     first_seen: dict[str, int] = {}
     for position in sorted(log):
+        if position in shadows:
+            continue
         for txn in log[position].transactions:
             if txn.tid in first_seen and first_seen[txn.tid] != position:
                 violations.append(
@@ -247,6 +290,7 @@ def check_l3_prefix_serializable(
     violations: list[str] = []
     state: dict[Item, Any] = dict(initial_image or {})
     log = global_log(replicas)
+    shadows = queue_shadow_positions(log)
     positions = sorted(log)
     # Verify contiguity: a chosen position with an unchosen predecessor means
     # catch-up was not run to completion before checking.
@@ -259,6 +303,8 @@ def check_l3_prefix_serializable(
             break
         expected += 1
     for position in positions:
+        if position in shadows:
+            continue
         for txn in effective_transactions(log[position], decisions):
             if txn.read_position >= position:
                 violations.append(

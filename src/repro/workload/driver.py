@@ -30,7 +30,7 @@ from repro.model import (
     TransactionOutcome,
     TransactionStatus,
 )
-from repro.workload.ycsb import Operation, YcsbWorkload
+from repro.workload.ycsb import TransactionPlan, YcsbWorkload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
@@ -63,7 +63,9 @@ class WorkloadDriver:
     * ``True`` — transactions fan out over the cluster placement's groups
       (uniform or zipfian per ``workload.group_distribution``), each
       confined to its group's rows; a ``workload.cross_group_fraction``
-      slice spans several groups and commits through 2PC;
+      slice spans several groups and commits through 2PC, and a
+      ``workload.queue_fraction`` slice converts its remote-group writes
+      into asynchronous queue sends on the single-group fast path;
     * ``None`` (default) — inferred: multi-group iff the cluster placement
       has more than one group.
     """
@@ -99,6 +101,18 @@ class WorkloadDriver:
                 "cross_group_fraction needs the paxos or paxos-cp protocol: "
                 "the leased leader owns its group's log positions, so 2PC "
                 "prepares cannot compete for them"
+            )
+        if workload.queue_fraction > 0 and not multi_group:
+            raise ValueError(
+                "queue_fraction needs a multi-group workload (a cluster "
+                "placement with more than one group to send to)"
+            )
+        if workload.queue_fraction > 0 and protocol == "leased-leader":
+            raise ValueError(
+                "queue_fraction needs the paxos or paxos-cp protocol: the "
+                "delivery pump appends queue_apply entries with plain Synod "
+                "proposals, which cannot compete with a leased leader's "
+                "ownership of the receiver group's positions"
             )
         self.multi_group = multi_group
         self.result = InstanceResult(datacenter=self.datacenter)
@@ -172,8 +186,8 @@ class WorkloadDriver:
         yield env.timeout(index * self.workload.stagger_ms)
         for _k in range(budget):
             slot_start = env.now
-            groups, ops = self._generator.next_transaction_spec()
-            outcome = yield from self._run_transaction(client, groups, ops)
+            plan = self._generator.next_transaction_plan()
+            outcome = yield from self._run_transaction(client, plan)
             self.result.outcomes.append(outcome)
             # Rate cap: next arrival one (jittered) period after this slot
             # began; skip the wait entirely if we are already late.
@@ -183,16 +197,18 @@ class WorkloadDriver:
                 yield env.timeout(next_slot - env.now)
 
     def _run_transaction(
-        self, client: "TransactionClient", groups: tuple[str, ...],
-        ops: list[Operation],
+        self, client: "TransactionClient", plan: TransactionPlan,
     ) -> Generator:
         """Execute one transaction end to end; never raises.
 
         One target group pins the transaction to it — the paper's path,
         byte-for-byte.  Several begin an unpinned cross-group transaction
-        that routes by row and commits through the 2PC coordinator.
+        that routes by row and commits through the 2PC coordinator.  Queue
+        ops are enqueued on the pinned handle as deferred remote writes and
+        ride the single-group commit.
         """
         env = self.cluster.env
+        groups = plan.groups
         begin_time = env.now
         sequence = 0
         try:
@@ -200,13 +216,17 @@ class WorkloadDriver:
                 handle = yield from client.begin()
             else:
                 handle = yield from client.begin(groups[0])
-            for op in ops:
+            for op in plan.ops:
                 if op.kind == "read":
                     yield from client.read(handle, op.row, op.attribute)
                 else:
                     sequence += 1
                     value = f"{client.node.name}@{env.now:.3f}:{sequence}"
                     client.write(handle, op.row, op.attribute, value)
+            for _group, op in plan.queue_ops:
+                sequence += 1
+                value = f"{client.node.name}@{env.now:.3f}:q{sequence}"
+                client.enqueue(handle, op.row, op.attribute, value)
             outcome = yield from client.commit(handle)
             return outcome
         except CrossGroupTransaction as strayed:

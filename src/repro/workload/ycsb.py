@@ -23,7 +23,11 @@ operations to that group's rows — matching the paper's scope.  With
 ``WorkloadConfig.cross_group_fraction`` > 0 that fraction of transactions
 instead spans ``cross_group_span`` distinct groups, spreading its
 operations round-robin over them; the driver commits those through the 2PC
-coordinator.
+coordinator.  With ``WorkloadConfig.queue_fraction`` > 0 a further slice
+stays pinned to one group but converts its remote-group operations into
+asynchronous *queue sends* (deferred writes; remote reads make no sense
+deferred, so those operations are forced to writes) — the driver enqueues
+them on the handle and commits down the ordinary single-group path.
 """
 
 from __future__ import annotations
@@ -47,6 +51,25 @@ class Operation:
     kind: OpKind
     row: str
     attribute: str
+
+
+@dataclass(frozen=True)
+class TransactionPlan:
+    """Everything the driver needs to execute one generated transaction.
+
+    ``groups`` holds the *directly accessed* groups: one element is the
+    paper's pinned single-group transaction, several a 2PC cross-group
+    transaction.  ``queue_ops`` are deferred remote writes, each paired with
+    its target group; only single-group plans carry them.
+    """
+
+    groups: tuple[str, ...]
+    ops: tuple[Operation, ...]
+    queue_ops: tuple[tuple[str, Operation], ...] = ()
+
+    @property
+    def home_group(self) -> str:
+        return self.groups[0]
 
 
 class ZipfianGenerator:
@@ -212,10 +235,22 @@ class YcsbWorkload:
     def next_transaction_spec(self) -> tuple[tuple[str, ...], list[Operation]]:
         """One transaction plus *all* the groups it targets.
 
-        A ``cross_group_fraction`` draw spans several groups: each operation
-        is assigned a group round-robin (so every named group is genuinely
-        touched) and a row within it.  Everything else is the single-group
-        form, ``next_group_transaction`` exactly.
+        The legacy (pre-queue) spec form; equivalent to
+        :meth:`next_transaction_plan` with the queue ops folded away.
+        Retained because the stream-identity contract is defined on it: with
+        both mix fractions 0 it is ``next_group_transaction`` byte for byte.
+        """
+        plan = self.next_transaction_plan()
+        return plan.groups, list(plan.ops)
+
+    def next_transaction_plan(self) -> TransactionPlan:
+        """One generated transaction in full (2PC, queue, or single-group).
+
+        Draw order is significant for RNG-stream stability: the cross-group
+        coin is tossed only when ``cross_group_fraction`` > 0 (exactly as
+        before queues existed) and the queue coin only when
+        ``queue_fraction`` > 0 — so runs with either knob at 0 reproduce
+        the corresponding pre-knob streams bit for bit.
         """
         if (
             self.multi_group
@@ -235,6 +270,45 @@ class YcsbWorkload:
                     row=rows[self.rng.randrange(len(rows))],
                     attribute=self.attribute_name(self._pick_attribute()),
                 ))
-            return tuple(groups), ops
+            return TransactionPlan(groups=tuple(groups), ops=tuple(ops))
+        if (
+            self.multi_group
+            and self.config.queue_fraction > 0
+            and self.rng.random() < self.config.queue_fraction
+        ):
+            return self._queue_plan()
         group, ops = self.next_group_transaction()
-        return (group,), ops
+        return TransactionPlan(groups=(group,), ops=tuple(ops))
+
+    def _queue_plan(self) -> TransactionPlan:
+        """A single-group transaction with deferred writes to other groups.
+
+        Operations are spread round-robin over ``cross_group_span`` groups
+        like a 2PC transaction — the same data footprint, so benchmarks
+        compare the two disciplines head to head — but only the first
+        (home) group is accessed directly; every remote-group operation
+        becomes an enqueued *write* (reads cannot be deferred).
+        """
+        groups = self._pick_groups(self.config.cross_group_span)
+        home = groups[0]
+        ops: list[Operation] = []
+        queue_ops: list[tuple[str, Operation]] = []
+        for index in range(self.config.ops_per_transaction):
+            kind: OpKind = (
+                "read" if self.rng.random() < self.config.read_fraction
+                else "write"
+            )
+            group = groups[index % len(groups)]
+            rows = self._group_rows[group]
+            operation = Operation(
+                kind=kind if group == home else "write",
+                row=rows[self.rng.randrange(len(rows))],
+                attribute=self.attribute_name(self._pick_attribute()),
+            )
+            if group == home:
+                ops.append(operation)
+            else:
+                queue_ops.append((group, operation))
+        return TransactionPlan(
+            groups=(home,), ops=tuple(ops), queue_ops=tuple(queue_ops)
+        )

@@ -1,0 +1,335 @@
+"""The asynchronous queue subsystem: entries, enqueue API, pump, dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, PlacementConfig, StoreConfig
+from repro.core.queues import (
+    DeliveryTable,
+    build_queue_apply,
+    enumerate_sends,
+    first_applies,
+    queue_apply_tid,
+)
+from repro.errors import TransactionStateError
+from repro.model import QueueSend, Transaction
+from repro.serializability.checker import check_queue_delivery
+from repro.wal.entry import LogEntry
+from repro.wal.invariants import effective_log, queue_shadow_positions
+
+
+def sharded_cluster(n_groups: int = 2, seed: int = 0) -> Cluster:
+    cluster = Cluster(ClusterConfig(
+        cluster_code="VVV", seed=seed,
+        store=StoreConfig.instant(), jitter=0.0,
+        placement=PlacementConfig(
+            n_groups=n_groups, assignment="range", key_universe=n_groups,
+        ),
+    ))
+    cluster.preload_placed({
+        f"row{index}": {"a0": f"init{index}"} for index in range(n_groups)
+    })
+    return cluster
+
+
+def run(cluster: Cluster, generator):
+    process = cluster.env.process(generator)
+    cluster.run()
+    return process.value
+
+
+def send_txn(tid: str, group: str, target: str, value: str) -> Transaction:
+    return Transaction(
+        tid=tid, group=group, read_set=frozenset(),
+        writes=((("local", "a"), value),), read_position=0,
+        sends=(QueueSend(target, ((("remote", "a"), value),)),),
+    )
+
+
+class TestEntryKind:
+    def test_queue_apply_requires_stream_identity(self):
+        message = Transaction(
+            tid=queue_apply_tid("g0", "g1", 1), group="g1",
+            read_set=frozenset(), writes=((("r", "a"), "v"),),
+            read_position=-1,
+        )
+        entry = LogEntry.queue_apply(message, "g0", 1)
+        assert entry.kind == "queue_apply"
+        assert entry.queue_key == ("g0", 1)
+        with pytest.raises(ValueError):
+            LogEntry(transactions=(message,), kind="queue_apply")
+
+    def test_queue_key_is_none_for_other_kinds(self):
+        txn = send_txn("t1", "g0", "g1", "v")
+        assert LogEntry.single(txn).queue_key is None
+        assert LogEntry.single(txn).queue_sends == txn.sends
+
+    def test_send_only_transaction_is_not_read_only(self):
+        txn = Transaction(
+            tid="t", group="g0", read_set=frozenset(), writes=(),
+            read_position=0,
+            sends=(QueueSend("g1", ((("r", "a"), "v"),)),),
+        )
+        assert not txn.is_read_only
+
+
+class TestEnumeration:
+    def test_seqnos_follow_log_then_member_then_send_order(self):
+        log = {
+            2: LogEntry.single(send_txn("t2", "g0", "g1", "b")),
+            1: LogEntry(transactions=(
+                send_txn("t0", "g0", "g1", "a"),
+                Transaction(
+                    tid="t1", group="g0", read_set=frozenset(),
+                    writes=((("x", "a"), "w"),), read_position=0,
+                    sends=(
+                        QueueSend("g1", ((("r", "a"), "m1"),)),
+                        QueueSend("g2", ((("r", "a"), "m2"),)),
+                    ),
+                ),
+            )),
+        }
+        streams = enumerate_sends("g0", log)
+        assert [(s.seqno, s.sender_tid) for s in streams["g1"]] == [
+            (1, "t0"), (2, "t1"), (3, "t2"),
+        ]
+        assert [(s.seqno, s.sender_tid) for s in streams["g2"]] == [(1, "t1")]
+
+    def test_shadows_and_effective_log_dedup_redelivery(self):
+        send = QueueSend("g1", ((("r", "a"), "v"),))
+        apply_entry = build_queue_apply("g0", "g1", 1, send)
+        log = {1: apply_entry, 2: apply_entry, 3: apply_entry}
+        assert queue_shadow_positions(log) == {2, 3}
+        assert list(effective_log(log)) == [1]
+        assert first_applies(log) == {("g0", 1): 1}
+
+
+class TestDeliveryInvariant:
+    def test_clean_stream_passes(self):
+        send = QueueSend("g1", ((("remote", "a"), "v"),))
+        logs = {
+            "g0": {1: LogEntry.single(send_txn("t0", "g0", "g1", "v"))},
+            "g1": {1: build_queue_apply("g0", "g1", 1, send)},
+        }
+        assert check_queue_delivery(logs) == []
+
+    def test_dropped_send_is_reported(self):
+        logs = {
+            "g0": {1: LogEntry.single(send_txn("t0", "g0", "g1", "v"))},
+            "g1": {},
+        }
+        violations = check_queue_delivery(logs)
+        assert any("dropped send" in v for v in violations)
+        assert check_queue_delivery(logs, require_delivery=False) == []
+
+    def test_phantom_apply_is_reported(self):
+        send = QueueSend("g1", ((("r", "a"), "v"),))
+        logs = {
+            "g0": {},
+            "g1": {1: build_queue_apply("g0", "g1", 7, send)},
+        }
+        violations = check_queue_delivery(logs, require_delivery=False)
+        assert any("phantom" in v for v in violations)
+
+    def test_out_of_order_first_occurrences_are_reported(self):
+        sends = [QueueSend("g1", ((("remote", "a"), f"v{k}"),)) for k in (1, 2)]
+        logs = {
+            "g0": {
+                1: LogEntry.single(send_txn("t1", "g0", "g1", "v1")),
+                2: LogEntry.single(send_txn("t2", "g0", "g1", "v2")),
+            },
+            "g1": {
+                1: build_queue_apply("g0", "g1", 2, sends[1]),
+                2: build_queue_apply("g0", "g1", 1, sends[0]),
+            },
+        }
+        violations = check_queue_delivery(logs)
+        assert any("out of order" in v for v in violations)
+
+    def test_divergent_redelivery_twin_is_reported(self):
+        good = QueueSend("g1", ((("remote", "a"), "v"),))
+        evil = QueueSend("g1", ((("remote", "a"), "EVIL"),))
+        logs = {
+            "g0": {1: LogEntry.single(send_txn("t0", "g0", "g1", "v"))},
+            "g1": {
+                1: build_queue_apply("g0", "g1", 1, good),
+                2: build_queue_apply("g0", "g1", 1, evil),
+            },
+        }
+        violations = check_queue_delivery(logs)
+        assert any("differs from its first occurrence" in v for v in violations)
+
+
+class TestEnqueueApi:
+    def test_enqueue_rides_the_single_group_commit(self):
+        cluster = sharded_cluster(2, seed=3)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+
+        def app():
+            handle = yield from client.begin(key="row0")
+            client.write(handle, "row0", "a0", "w")
+            client.enqueue(handle, "row1", "a0", "deferred")
+            outcome = yield from client.commit(handle)
+            return outcome
+
+        outcome = run(cluster, app())
+        assert outcome.committed
+        assert outcome.transaction.sends == (
+            QueueSend("group-1", ((("row1", "a0"), "deferred"),)),
+        )
+        # The send is durable in the sender's own commit entry.
+        log = cluster.finalize("group-0")
+        assert any(entry.queue_sends for entry in log.values())
+
+    def test_enqueue_rejects_local_rows_and_cross_group_handles(self):
+        cluster = sharded_cluster(2)
+        client = cluster.add_client("V1")
+
+        def local(handle_key):
+            handle = yield from client.begin(key=handle_key)
+            client.enqueue(handle, handle_key, "a0", "x")
+
+        with pytest.raises(TransactionStateError, match="own group"):
+            run(cluster, local("row0"))
+
+        def cross():
+            handle = yield from client.begin()
+            client.enqueue(handle, "row1", "a0", "x")
+            yield  # pragma: no cover - enqueue raises first
+
+        with pytest.raises(TransactionStateError, match="2PC"):
+            run(cluster, cross())
+
+    def test_send_only_transaction_commits_through_the_log(self):
+        cluster = sharded_cluster(2, seed=5)
+        client = cluster.add_client("V1")
+
+        def app():
+            handle = yield from client.begin(key="row0")
+            client.enqueue(handle, "row1", "a0", "only-a-send")
+            outcome = yield from client.commit(handle)
+            return outcome
+
+        outcome = run(cluster, app())
+        assert outcome.committed
+        # Not the read-only shortcut: the send occupies a log position.
+        log = cluster.finalize("group-0")
+        assert len(log) == 1
+        cluster.check_invariants_all([outcome])
+
+
+class TestPump:
+    def test_pump_delivers_and_applies_exactly_once(self):
+        cluster = sharded_cluster(2, seed=11)
+        cluster.start_queue_pumps(poll_ms=10, idle_stop_after=60)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+
+        def app():
+            for k in range(3):
+                handle = yield from client.begin(key="row0")
+                client.write(handle, "row0", "a0", f"w{k}")
+                client.enqueue(handle, "row1", "a0", f"d{k}")
+                yield from client.commit(handle)
+
+        run(cluster, app())
+        logs = cluster.finalize_all()
+        applies = [e for e in logs["group-1"].values() if e.kind == "queue_apply"]
+        assert len(applies) >= 3  # redelivery may add shadows, never drop
+        assert len(first_applies(logs["group-1"])) == 3
+        cluster.check_invariants_all([], logs=logs)
+        stats = cluster.queue_stats(logs)
+        assert stats.applied_online == 3
+        assert stats.drained_offline == 0
+        # Delivered in sender order: the last apply wins the final state.
+        value = read_remote(cluster, "row1", "a0")
+        assert value == "d2"
+
+    def test_pump_crash_and_restart_never_drops_or_double_applies(self):
+        cluster = sharded_cluster(2, seed=13)
+        processes = cluster.start_queue_pumps(poll_ms=10, idle_stop_after=60)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+
+        def app():
+            for k in range(4):
+                handle = yield from client.begin(key="row0")
+                client.write(handle, "row0", "a0", f"w{k}")
+                client.enqueue(handle, "row1", "a0", f"d{k}")
+                yield from client.commit(handle)
+
+        # Kill the sender pump mid-run, then restart it a beat later: the
+        # fresh pump resumes from the durable watermark and redelivers at
+        # most the unconfirmed tail.
+        kill_at = cluster.env.timeout(160.0)
+        kill_at.add_callback(
+            lambda _e: processes["group-0"].kill("injected pump crash")
+        )
+        restart_at = cluster.env.timeout(260.0)
+        restart_at.add_callback(
+            lambda _e: cluster.start_queue_pump(
+                "group-0", poll_ms=10, idle_stop_after=60
+            )
+        )
+        run(cluster, app())
+
+        logs = cluster.finalize_all()
+        # Exactly-once + order + no drops, and the §3 suite over both logs.
+        cluster.check_invariants_all([], logs=logs)
+        assert len(first_applies(logs["group-1"])) == 4
+        assert read_remote(cluster, "row1", "a0") == "d3"
+
+    def test_drain_is_idempotent_and_completes_without_pumps(self):
+        cluster = sharded_cluster(2, seed=17)
+        client = cluster.add_client("V1")
+
+        def app():
+            handle = yield from client.begin(key="row0")
+            client.enqueue(handle, "row1", "a0", "lonely")
+            yield from client.commit(handle)
+
+        run(cluster, app())  # no pumps at all
+        logs = cluster.finalize_all()
+        # Before any drain: the send is committed but undelivered, which
+        # must surface as a stall, not vanish from the accounting.
+        before = cluster.queue_stats(logs)
+        assert (before.sends, before.applied_online, before.drained_offline,
+                before.undelivered, before.stalled) == (1, 0, 0, 1, 1)
+        assert cluster.drain_queues(logs) == 1
+        assert cluster.drain_queues(logs) == 0  # second drain finds nothing
+        assert check_queue_delivery(logs) == []
+        after = cluster.queue_stats(logs)
+        assert (after.applied_online, after.drained_offline) == (0, 1)
+        assert after.stalled == 1  # drain completions are stalls by definition
+        # The drained apply is readable through the ordinary service path.
+        assert read_remote(cluster, "row1", "a0") == "lonely"
+
+
+def read_remote(cluster: Cluster, row: str, attribute: str):
+    reader = cluster.add_client("V2")
+
+    def app():
+        handle = yield from reader.begin(key=row)
+        value = yield from reader.read(handle, row, attribute)
+        return value
+
+    return run(cluster, app())
+
+
+class TestDeliveryTable:
+    def test_marks_and_progress_round_trip(self):
+        from repro.kvstore.store import MultiVersionStore
+
+        table = DeliveryTable(MultiVersionStore())
+        assert not table.is_applied("g1", "g0", 1)
+        table.mark_applied("g1", "g0", 1)
+        table.mark_applied("g1", "g0", 3)
+        table.mark_applied("g1", "g0", 3)  # idempotent
+        assert table.is_applied("g1", "g0", 1)
+        assert not table.is_applied("g1", "g0", 2)
+        assert table.applied_seqnos("g1", "g0") == {1, 3}
+        assert table.streams_into("g1") == {"g0": {1, 3}}
+
+        assert table.pump_progress("g0") == (0, {})
+        table.record_pump_progress("g0", 5, {"g1": 2, "g2": 1})
+        assert table.pump_progress("g0") == (5, {"g1": 2, "g2": 1})

@@ -146,6 +146,84 @@ def test_random_2pc_mixes_are_globally_one_copy_serializable(
     cluster.check_invariants_all(driver.result.outcomes)
 
 
+class TestRecoveryIdempotence:
+    """``Cluster.recover_cross_group`` may run twice, or race a resuming
+    coordinator, without ever flipping a decision — a gap the original
+    coordinator-crash property test never exercised."""
+
+    def _crashed_run(self):
+        """A run with an in-doubt prepare: coordinator killed mid-2PC.
+
+        Probes kill times until one leaves prepares without a durable
+        decision (deterministic per probe — each builds a fresh cluster).
+        """
+        for kill_after_ms in (60.0, 90.0, 120.0, 150.0, 200.0, 260.0, 320.0):
+            cluster = sharded_cluster(4, seed=23, instant=False)
+            cluster.preload_placed({
+                f"row{index}": {"a0": f"init{index}"} for index in range(4)
+            })
+            client = cluster.add_client("V1", protocol="paxos")
+
+            def app():
+                handle = yield from client.begin()
+                yield from client.read(handle, "row0", "a0")
+                client.write(handle, "row0", "a0", "x0")
+                client.write(handle, "row2", "a0", "x2")
+                yield from client.commit(handle)
+
+            process = cluster.env.process(app())
+            killer = cluster.env.timeout(kill_after_ms)
+            killer.add_callback(lambda _event: process.kill("coordinator crash"))
+            cluster.run()
+            logs = cluster.finalize_all()
+            gtids = {
+                entry.gtid
+                for log in logs.values() for entry in log.values()
+                if entry.kind == "prepare"
+            }
+            undecided = gtids - set(cluster.cross_group_decisions())
+            if undecided:
+                return cluster, logs, undecided.pop()
+        raise AssertionError("no probe produced an in-doubt prepare")
+
+    def test_running_recovery_twice_is_a_fixpoint(self):
+        cluster, logs, gtid = self._crashed_run()
+        first = cluster.recover_cross_group(logs)
+        assert gtid in first
+        second = cluster.recover_cross_group(logs)
+        assert second == first
+        # A third pass that re-derives the logs from the stores agrees too.
+        third = cluster.recover_cross_group()
+        assert third == first
+        cluster.check_cross_group_invariants([], logs, first)
+
+    def test_late_coordinator_follows_the_recovered_decision(self):
+        from repro.core.commit_2pc import TwoPhaseCommit
+
+        cluster, logs, gtid = self._crashed_run()
+        decisions = cluster.recover_cross_group(logs)
+        participants = next(
+            entry.participants
+            for log in logs.values() for entry in log.values()
+            if entry.kind == "prepare" and entry.gtid == gtid
+        )
+        # The crashed coordinator resumes *after* recovery already resolved
+        # the transaction, and tries to drive its instance to COMMIT.  The
+        # decision instance is single-slot Paxos: the recorded resolution
+        # must win, and a second recovery pass must still agree.
+        late = TwoPhaseCommit(cluster.add_client("V2", protocol="paxos"))
+        process = cluster.env.process(
+            late.decide(gtid, participants, commit=True)
+        )
+        cluster.run()
+        decided = process.value
+        assert decided is not None
+        assert (decided.kind == "commit") == decisions[gtid]
+        again = cluster.recover_cross_group()
+        assert again[gtid] == decisions[gtid]
+        cluster.check_cross_group_invariants([], cluster.finalize_all(), again)
+
+
 @given(
     seed=st.integers(min_value=0, max_value=100_000),
     kill_after_ms=st.floats(min_value=0.0, max_value=400.0),
