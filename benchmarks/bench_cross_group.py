@@ -14,7 +14,8 @@ atomicity, the no-orphaned-prepare invariant, and the merged-history global
 MVSG test — a sweep point that violated any of them would raise before the
 assertions here run.
 
-Also runnable as a script (CI uses ``--smoke`` for a two-cell quick pass):
+Also runnable as a script (CI uses ``--smoke`` for a two-cell quick pass;
+``--jobs N`` fans the sweep over N worker processes, bit-identically):
 
     PYTHONPATH=src python benchmarks/bench_cross_group.py --smoke
 """
@@ -22,17 +23,23 @@ Also runnable as a script (CI uses ``--smoke`` for a two-cell quick pass):
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 
-from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
-from repro.harness.experiment import ExperimentResult, ExperimentSpec, run_cell
+if __package__ in (None, ""):  # script mode: put the repo root on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-RESULTS_DIR = Path(__file__).parent / "results"
-FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
-N_TRANSACTIONS = 500 if FULL_SCALE else 120
-TRIALS = 3 if FULL_SCALE else 1
+from benchmarks.common import (
+    N_TRANSACTIONS,
+    RESULTS_DIR,
+    TRIALS,
+    add_runner_arguments,
+    default_jobs,
+    run_benchmark_main,
+)
+from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
+from repro.harness.experiment import ExperimentResult, ExperimentSpec
+from repro.harness.parallel import run_cells
 
 FRACTIONS = (0.0, 0.1, 0.25, 0.5)
 GROUP_COUNTS = (4, 8)
@@ -84,17 +91,22 @@ def run_sweep(
     fractions=FRACTIONS,
     n_transactions: int = N_TRANSACTIONS,
     trials: int = TRIALS,
+    jobs: int | None = 1,
 ) -> dict[int, list[ExperimentResult]]:
-    return {
-        n_groups: [
-            run_cell(
-                cross_group_spec(n_groups, fraction, n_transactions),
-                trials=trials,
-            )
-            for fraction in fractions
-        ]
+    grid = [
+        (n_groups, fraction)
         for n_groups in group_counts
-    }
+        for fraction in fractions
+    ]
+    results = run_cells(
+        [cross_group_spec(n_groups, fraction, n_transactions)
+         for n_groups, fraction in grid],
+        trials=trials, jobs=jobs,
+    )
+    table: dict[int, list[ExperimentResult]] = {g: [] for g in group_counts}
+    for (n_groups, _fraction), result in zip(grid, results):
+        table[n_groups].append(result)
+    return table
 
 
 def render(results: dict[int, list[ExperimentResult]], fractions) -> str:
@@ -124,8 +136,9 @@ def render(results: dict[int, list[ExperimentResult]], fractions) -> str:
     return "\n".join(lines)
 
 
-def run_and_check(group_counts, fractions, n_transactions, trials) -> str:
-    results = run_sweep(group_counts, fractions, n_transactions, trials)
+def run_and_check(group_counts, fractions, n_transactions, trials,
+                  jobs: int | None = 1) -> str:
+    results = run_sweep(group_counts, fractions, n_transactions, trials, jobs)
     for cells in results.values():
         for fraction, result in zip(fractions, cells):
             check_cell(result, fraction)
@@ -137,9 +150,11 @@ def run_and_check(group_counts, fractions, n_transactions, trials) -> str:
     return text
 
 
-def test_cross_group_sweep(benchmark):
+def test_cross_group_sweep(benchmark, request):
+    jobs = request.config.getoption("--jobs", default=None)
     benchmark.pedantic(
-        lambda: run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS),
+        lambda: run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS,
+                              jobs=default_jobs() if jobs is None else jobs),
         rounds=1, iterations=1,
     )
 
@@ -150,12 +165,18 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="two-cell quick pass (CI): 4 groups, fractions 0%% and 50%%",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    if args.smoke:
-        run_and_check((4,), (0.0, 0.5), n_transactions=40, trials=1)
-    else:
-        run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS)
-    return 0
+
+    def run(jobs: int) -> None:
+        if args.smoke:
+            run_and_check((4,), (0.0, 0.5), n_transactions=40, trials=1,
+                          jobs=jobs)
+        else:
+            run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS,
+                          jobs=jobs)
+
+    return run_benchmark_main(args, run)
 
 
 if __name__ == "__main__":

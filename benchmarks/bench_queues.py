@@ -19,7 +19,8 @@ Acceptance (asserted per sweep point):
   ``check_invariants_all``) drains the queues and verifies exactly-once
   delivery in sender order before the assertions here even run.
 
-Also runnable as a script (CI uses ``--smoke`` for a quick pass):
+Also runnable as a script (CI uses ``--smoke`` for a quick pass; ``--jobs
+N`` fans the sweep over N worker processes, bit-identically):
 
     PYTHONPATH=src python benchmarks/bench_queues.py --smoke
 """
@@ -27,18 +28,24 @@ Also runnable as a script (CI uses ``--smoke`` for a quick pass):
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 from statistics import median
 
-from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
-from repro.harness.experiment import ExperimentResult, ExperimentSpec, run_cell
+if __package__ in (None, ""):  # script mode: put the repo root on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-RESULTS_DIR = Path(__file__).parent / "results"
-FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
-N_TRANSACTIONS = 500 if FULL_SCALE else 120
-TRIALS = 3 if FULL_SCALE else 1
+from benchmarks.common import (
+    N_TRANSACTIONS,
+    RESULTS_DIR,
+    TRIALS,
+    add_runner_arguments,
+    default_jobs,
+    run_benchmark_main,
+)
+from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
+from repro.harness.experiment import ExperimentResult, ExperimentSpec
+from repro.harness.parallel import run_cells
 
 FRACTIONS = (0.0, 0.1, 0.25, 0.5)
 GROUP_COUNTS = (4, 8)
@@ -120,27 +127,35 @@ def check_cell(result: ExperimentResult, fraction: float) -> None:
     )
 
 
-def run_sweep(group_counts, fractions, n_transactions, trials):
+def run_sweep(group_counts, fractions, n_transactions, trials,
+              jobs: int | None = 1):
     """``{n_groups: [(fraction, queue cell, 2PC baseline cell), ...]}``.
 
     The 2PC baseline is only run for fractions > 0 (at 0 both modes are the
-    identical single-group workload).
+    identical single-group workload).  The whole (groups × fraction × mode)
+    grid is one flat run_cells call, so a parallel run overlaps everything.
     """
+    grid: list[tuple[int, float, str]] = []
+    for n_groups in group_counts:
+        for fraction in fractions:
+            grid.append((n_groups, fraction, "queue"))
+            if fraction > 0:
+                grid.append((n_groups, fraction, "2pc"))
+    flat = run_cells(
+        [queue_spec(n_groups, fraction, n_transactions, mode=mode)
+         for n_groups, fraction, mode in grid],
+        trials=trials, jobs=jobs,
+    )
+    by_key = {key: result for key, result in zip(grid, flat)}
     results = {}
     for n_groups in group_counts:
         cells = []
         for fraction in fractions:
-            queue_cell = run_cell(
-                queue_spec(n_groups, fraction, n_transactions, mode="queue"),
-                trials=trials,
-            )
-            baseline = None
-            if fraction > 0:
-                baseline = run_cell(
-                    queue_spec(n_groups, fraction, n_transactions, mode="2pc"),
-                    trials=trials,
-                )
-            cells.append((fraction, queue_cell, baseline))
+            cells.append((
+                fraction,
+                by_key[(n_groups, fraction, "queue")],
+                by_key.get((n_groups, fraction, "2pc")),
+            ))
         results[n_groups] = cells
     return results
 
@@ -181,8 +196,9 @@ def render(results) -> str:
     return "\n".join(lines)
 
 
-def run_and_check(group_counts, fractions, n_transactions, trials) -> str:
-    results = run_sweep(group_counts, fractions, n_transactions, trials)
+def run_and_check(group_counts, fractions, n_transactions, trials,
+                  jobs: int | None = 1) -> str:
+    results = run_sweep(group_counts, fractions, n_transactions, trials, jobs)
     for cells in results.values():
         for fraction, queue_cell, _baseline in cells:
             check_cell(queue_cell, fraction)
@@ -194,9 +210,11 @@ def run_and_check(group_counts, fractions, n_transactions, trials) -> str:
     return text
 
 
-def test_queue_sweep(benchmark):
+def test_queue_sweep(benchmark, request):
+    jobs = request.config.getoption("--jobs", default=None)
     benchmark.pedantic(
-        lambda: run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS),
+        lambda: run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS,
+                              jobs=default_jobs() if jobs is None else jobs),
         rounds=1, iterations=1,
     )
 
@@ -207,12 +225,18 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="two-point quick pass (CI): 4 groups, shares 0%% and 50%%",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    if args.smoke:
-        run_and_check((4,), (0.0, 0.5), n_transactions=40, trials=1)
-    else:
-        run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS)
-    return 0
+
+    def run(jobs: int) -> None:
+        if args.smoke:
+            run_and_check((4,), (0.0, 0.5), n_transactions=40, trials=1,
+                          jobs=jobs)
+        else:
+            run_and_check(GROUP_COUNTS, FRACTIONS, N_TRANSACTIONS, TRIALS,
+                          jobs=jobs)
+
+    return run_benchmark_main(args, run)
 
 
 if __name__ == "__main__":

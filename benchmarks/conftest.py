@@ -1,10 +1,7 @@
-"""Benchmark configuration and helpers.
+"""Benchmark configuration and helpers (pytest side).
 
-Figure benchmarks run the paper's experiment grids.  By default they are
-scaled down (120 transactions per cell, one trial) so the whole suite
-finishes in about two minutes; set ``REPRO_FULL=1`` for the paper's full
-scale (500 transactions, three trials — the configuration EXPERIMENTS.md
-was produced with).
+Scale constants live in :mod:`benchmarks.common` (shared with the
+script-mode runners) and are re-exported here for the figure benches.
 
 Every figure benchmark:
 
@@ -12,30 +9,54 @@ Every figure benchmark:
   ``benchmarks/results/<name>.txt`` (also echoed to stdout);
 * asserts the *shape* the paper reports (who wins, roughly by how much),
   so a regression that flips a conclusion fails the benchmark run.
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans every grid's (cell × trial) tasks
+out over N worker processes with bit-identical results.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
 import pytest
 
-from repro.harness.experiment import ExperimentResult, run_cell
+from benchmarks.common import (  # noqa: F401  (re-exported for the benches)
+    BASELINES_DIR,
+    FULL_SCALE,
+    N_TRANSACTIONS,
+    RESULTS_DIR,
+    TRIALS,
+    default_jobs,
+)
+from repro.harness.experiment import ExperimentResult
 from repro.harness.figures import FigureGrid
+from repro.harness.parallel import run_cells
 from repro.harness.report import format_comparison
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
-N_TRANSACTIONS = 500 if FULL_SCALE else 120
-TRIALS = 3 if FULL_SCALE else 1
+#: Worker processes for run_grid; pytest_configure applies ``--jobs``.
+JOBS = default_jobs()
 
 
-def run_grid(grid: FigureGrid) -> list[ExperimentResult]:
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", type=int, default=None,
+        help="worker processes for benchmark experiment grids "
+             "(0 = one per CPU; default: $REPRO_JOBS or 1)",
+    )
+
+
+def pytest_configure(config):
+    global JOBS
+    jobs = config.getoption("--jobs", default=None)
+    if jobs is not None:
+        JOBS = jobs
+
+
+def run_grid(grid: FigureGrid, jobs: int | None = None) -> list[ExperimentResult]:
     """Run every cell of a figure grid at the configured scale."""
     scaled = grid.scaled(N_TRANSACTIONS)
-    return [run_cell(cell, trials=TRIALS) for cell in scaled.cells]
+    return run_cells(
+        scaled.cells, trials=TRIALS,
+        jobs=JOBS if jobs is None else jobs,
+    )
 
 
 def publish(grid: FigureGrid, results: list[ExperimentResult], name: str) -> str:

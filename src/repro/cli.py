@@ -35,7 +35,20 @@ from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import format_cells, format_comparison, format_per_instance
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand: parallelism and profiling."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the trial/cell grid "
+                             "(0 = one per CPU; default: $REPRO_JOBS or 1). "
+                             "Results are bit-identical to a serial run")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile and print the top-20 "
+                             "cumulative functions (this process only; use "
+                             "with --jobs 1 for kernel numbers)")
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_execution_arguments(parser)
     parser.add_argument("--cluster", default="VVV",
                         help="datacenter letters, e.g. VVV, COV, VVVOC (default VVV)")
     parser.add_argument("--protocol", default="paxos-cp",
@@ -146,11 +159,13 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import run_cells
+
     names = list(ALL_FIGURES) if args.name == "all" else [args.name]
     for name in names:
         grid = ALL_FIGURES[name]().scaled(args.transactions)
-        results = [run_cell(cell, trials=args.trials, base_seed=args.seed)
-                   for cell in grid.cells]
+        results = run_cells(grid.cells, trials=args.trials,
+                            base_seed=args.seed, jobs=args.jobs)
         print(format_comparison(grid.paper_shape, results, grid.figure))
         print()
     return 0
@@ -158,7 +173,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    result = run_cell(spec, trials=args.trials, base_seed=args.seed)
+    result = run_cell(spec, trials=args.trials, base_seed=args.seed,
+                      jobs=args.jobs)
     print(format_cells([result]))
     if len(result.per_instance) > 1:
         print()
@@ -176,7 +192,8 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     spec = _spec_from_args(args)
     try:
-        result = run_cell(spec, trials=args.trials, base_seed=args.seed)
+        result = run_cell(spec, trials=args.trials, base_seed=args.seed,
+                          jobs=args.jobs)
     except InvariantViolation as violation:
         print("INVARIANT VIOLATION:")
         print(violation)
@@ -201,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="transactions per cell (paper scale: 500)")
     figure.add_argument("--trials", type=int, default=1)
     figure.add_argument("--seed", type=int, default=0)
+    _add_execution_arguments(figure)
     figure.set_defaults(func=cmd_figure)
 
     run = subparsers.add_parser("run", help="run one experiment cell")
@@ -217,8 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.harness.parallel import default_jobs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) is None:
+        args.jobs = default_jobs()
+    if getattr(args, "profile", False):
+        from repro.harness.profiling import run_profiled
+
+        return run_profiled(lambda: args.func(args))
     return args.func(args)
 
 

@@ -119,11 +119,14 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_cell(spec: ExperimentSpec, trials: int = 3, base_seed: int = 0) -> ExperimentResult:
-    """Execute one cell for several seeds and average the metrics."""
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    runs = [run_once(spec, seed=base_seed + trial) for trial in range(trials)]
+def aggregate_cell(spec: ExperimentSpec, runs: list[ExperimentResult]) -> ExperimentResult:
+    """Average per-trial results into the cell's reported result.
+
+    Shared by the serial and parallel paths — the trials must arrive in
+    trial order (seed ``base_seed``, ``base_seed + 1``, ...), and then the
+    aggregation is deterministic, which is what makes ``--jobs N`` runs
+    bit-identical to serial ones.
+    """
     merged = aggregate_metrics([run.metrics for run in runs])
     per_instance: dict[str, RunMetrics] = {}
     for dc in runs[0].per_instance:
@@ -132,3 +135,23 @@ def run_cell(spec: ExperimentSpec, trials: int = 3, base_seed: int = 0) -> Exper
         spec=spec, metrics=merged, per_instance=per_instance,
         outcomes=list(runs[0].outcomes),
     )
+
+
+def run_cell(
+    spec: ExperimentSpec, trials: int = 3, base_seed: int = 0,
+    jobs: int | None = 1,
+) -> ExperimentResult:
+    """Execute one cell for several seeds and average the metrics.
+
+    ``jobs`` fans the trials out over worker processes (see
+    :func:`repro.harness.parallel.run_cells`); the default of 1 runs them
+    inline, and both produce bit-identical results.
+    """
+    if jobs != 1:
+        from repro.harness.parallel import run_cells
+
+        return run_cells([spec], trials=trials, base_seed=base_seed, jobs=jobs)[0]
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    runs = [run_once(spec, seed=base_seed + trial) for trial in range(trials)]
+    return aggregate_cell(spec, runs)

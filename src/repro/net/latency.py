@@ -58,6 +58,11 @@ class RttMatrixLatency(LatencyModel):
         self.rtt_ms = dict(PAPER_RTT_MS if rtt_ms is None else rtt_ms)
         self.intra_dc_rtt_ms = intra_dc_rtt_ms
         self.jitter = jitter
+        self._jitter_floor = max(0.5, 1.0 - 2.0 * jitter)
+        # (src_dc, dst_dc) -> half-RTT.  The matrix is keyed by *region*
+        # pair behind two name lookups and a frozenset; the delay is drawn
+        # once per message, so this cache is squarely on the hot path.
+        self._half_rtt: dict[tuple[str, str], float] = {}
 
     def base_rtt(self, src_dc: str, dst_dc: str) -> float:
         """The jitter-free RTT between two datacenters."""
@@ -74,9 +79,14 @@ class RttMatrixLatency(LatencyModel):
             ) from None
 
     def one_way_delay(self, src_dc: str, dst_dc: str, rng: random.Random) -> float:
-        base = self.base_rtt(src_dc, dst_dc) / 2.0
+        base = self._half_rtt.get((src_dc, dst_dc))
+        if base is None:
+            base = self.base_rtt(src_dc, dst_dc) / 2.0
+            self._half_rtt[(src_dc, dst_dc)] = base
         if self.jitter == 0:
             return base
         factor = rng.gauss(1.0, self.jitter)
-        floor = max(0.5, 1.0 - 2.0 * self.jitter)
-        return base * max(floor, factor)
+        floor = self._jitter_floor
+        if factor < floor:
+            factor = floor
+        return base * factor

@@ -16,7 +16,7 @@ from typing import Any
 _message_ids = count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An envelope travelling between two nodes.
 

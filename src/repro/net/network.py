@@ -19,10 +19,32 @@ from repro.errors import UnknownDatacenter
 from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.topology import Topology
+from repro.sim.events import Notification
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
     from repro.sim.env import Environment
+
+
+class _Delivery(Notification):
+    """A scheduled message arrival.
+
+    The hot path used to build a :class:`~repro.sim.events.Timeout` plus a
+    closure per message; this event carries the message directly and skips
+    the callback machinery entirely — nothing ever waits on a delivery.
+    """
+
+    __slots__ = ("_network", "_msg", "_dst")
+
+    def __init__(self, env: "Environment", network: "Network",
+                 msg: Message, dst: "Node") -> None:
+        super().__init__(env)
+        self._network = network
+        self._msg = msg
+        self._dst = dst
+
+    def _process(self) -> None:
+        self._network._deliver(self._msg, self._dst)
 
 
 @dataclass
@@ -129,24 +151,30 @@ class Network:
             raise UnknownDatacenter(f"message to unknown node {msg.dst!r}")
         src = self._nodes.get(msg.src)
         src_dc = src.datacenter if src is not None else msg.src
-        if src_dc in self._down_datacenters or dst.datacenter in self._down_datacenters:
+        dst_dc = dst.datacenter
+        if self._down_datacenters and (
+            src_dc in self._down_datacenters or dst_dc in self._down_datacenters
+        ):
             self.stats.dropped_outage += 1
             return
-        if frozenset({src_dc, dst.datacenter}) in self._severed_links:
+        if self._severed_links and frozenset({src_dc, dst_dc}) in self._severed_links:
             self.stats.dropped_partition += 1
             return
-        if self.loss_probability and self._rng.random() < self.loss_probability:
+        rng = self._rng
+        if self.loss_probability and rng.random() < self.loss_probability:
             self.stats.dropped_loss += 1
             return
         copies = 1
-        if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
+        if self.duplicate_probability and rng.random() < self.duplicate_probability:
             # UDP may duplicate; the copy takes its own (re-drawn) path delay.
             copies = 2
             self.stats.duplicated += 1
+        env = self.env
+        one_way_delay = self.latency.one_way_delay
+        sim_schedule = env.sim.schedule
         for _copy in range(copies):
-            delay = self.latency.one_way_delay(src_dc, dst.datacenter, self._rng)
-            wakeup = self.env.timeout(delay)
-            wakeup.add_callback(lambda _e: self._deliver(msg, dst))
+            delay = one_way_delay(src_dc, dst_dc, rng)
+            sim_schedule(_Delivery(env, self, msg, dst), delay)
 
     def _deliver(self, msg: Message, dst: "Node") -> None:
         # Re-check outage state at delivery time: a datacenter that went down

@@ -23,7 +23,7 @@ from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.net.message import Message
-from repro.sim.events import Event
+from repro.sim.events import Event, Notification
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
@@ -32,12 +32,34 @@ if TYPE_CHECKING:  # pragma: no cover
 Handler = Callable[[Message], Any]
 
 
+class _Deadline(Notification):
+    """Fires a :class:`Gather`'s loss-detection timeout.
+
+    A dedicated event (rather than a ``Timeout`` plus a closure) because one
+    is scheduled per outgoing request — this is the second-hottest allocation
+    site after message delivery.
+    """
+
+    __slots__ = ("_gather",)
+
+    def __init__(self, env: "Environment", gather: "Gather", delay: float) -> None:
+        super().__init__(env)
+        self._gather = gather
+        env.sim.schedule(self, delay)
+
+    def _process(self) -> None:
+        self._gather._finish()
+
+
 class Gather(Event):
     """Collects responses to a broadcast until a completion rule fires.
 
     The event's value is the list of response :class:`Message` envelopes
     received so far (possibly fewer than a quorum — callers must check).
     """
+
+    __slots__ = ("responses", "_expected", "_enough", "_grace_ms",
+                 "_grace_armed", "_done", "_answered")
 
     def __init__(
         self,
@@ -55,8 +77,7 @@ class Gather(Event):
         self._grace_armed = False
         self._done = False
         self._answered: set[str] = set()
-        deadline = env.timeout(timeout_ms)
-        deadline.add_callback(lambda _e: self._finish())
+        _Deadline(env, self, timeout_ms)
 
     def add(self, response: Message) -> None:
         """Record one response; may complete the gather.
@@ -79,8 +100,7 @@ class Gather(Event):
                 self._finish()
                 return
             self._grace_armed = True
-            grace = self.env.timeout(self._grace_ms)
-            grace.add_callback(lambda _e: self._finish())
+            _Deadline(self.env, self, self._grace_ms)
 
     def _finish(self) -> None:
         if self._done:

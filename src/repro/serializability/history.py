@@ -13,6 +13,7 @@ initial version; it precedes everything in any serial order.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -139,8 +140,11 @@ class MVHistory:
         """
         initial = dict(initial_image or {})
         history = cls()
-        # writes_by_item[item] = [(position, tid, value)] in log order.
+        # writes_by_item[item] = [(position, tid, value)] in log order, with
+        # a parallel position list so attribution is a bisect, not a scan
+        # back over the whole log tail for every read.
         writes_by_item: dict[Item, list[tuple[int, str, object]]] = {}
+        write_positions: dict[Item, list[int]] = {}
         all_writers: dict[tuple[Item, object], list[str]] = {}
         for position in sorted(entries):
             for txn in entries[position].transactions:
@@ -148,18 +152,21 @@ class MVHistory:
                     writes_by_item.setdefault(item, []).append(
                         (position, txn.tid, value)
                     )
+                    write_positions.setdefault(item, []).append(position)
                     all_writers.setdefault((item, value), []).append(txn.tid)
 
         def attribute(reader, item: Item, value: object) -> str | None:
-            for position, tid, written in reversed(writes_by_item.get(item, [])):
-                if position > reader.read_position:
-                    continue
-                if written == value:
-                    return tid
-                # The latest write at or before the pin differs: the reader
-                # did not observe the pinned state for this item.  Stop the
-                # ordered scan and fall through to the bug-surfacing paths.
-                break
+            # The latest write at or before the read pin decides: if its
+            # value matches, that writer is the observed version; if it
+            # differs, the reader did not observe the pinned state and we
+            # fall through to the bug-surfacing paths.
+            positions = write_positions.get(item)
+            if positions:
+                index = bisect_right(positions, reader.read_position) - 1
+                if index >= 0:
+                    _position, tid, written = writes_by_item[item][index]
+                    if written == value:
+                        return tid
             if item in initial and initial[item] == value:
                 return INITIAL
             if item not in initial and value is None:

@@ -7,12 +7,19 @@ is expressed as an :class:`~repro.sim.events.Event` pushed onto this queue.
 Events scheduled for the same instant are processed in scheduling order
 (FIFO), enforced with a monotone sequence number, which makes runs
 deterministic regardless of hash seeds or dict ordering.
+
+This module is the hottest code in the repository — every message hop, think
+time, and process resumption passes through :meth:`Simulator.schedule` and
+the :meth:`Simulator.run` loop — so it trades a little readability for
+allocation- and call-free inner loops: heap entries stay plain ``(time, seq,
+event)`` tuples (tuple comparison happens in C, unlike ``Event.__lt__``
+would), the sequence counter is a bare int, and ``run`` drains the queue
+without going through :meth:`step`.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationFinished
@@ -29,10 +36,12 @@ class Simulator:
     semantics live in the events and processes scheduled onto it.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_processed_events")
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
-        self._seq = count()
+        self._seq = 0
         self._processed_events = 0
 
     # ------------------------------------------------------------------
@@ -61,7 +70,8 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule event in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, seq, event))
 
     # ------------------------------------------------------------------
     # Execution
@@ -80,7 +90,7 @@ class Simulator:
         """
         if not self._queue:
             raise SimulationFinished("event queue is empty")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         self._now = when
         self._processed_events += 1
         event._process()
@@ -92,14 +102,28 @@ class Simulator:
         if the queue drains earlier, so back-to-back ``run`` calls observe a
         monotone clock.
         """
+        queue = self._queue
+        processed = 0
         if until is None:
-            while self._queue:
-                self.step()
+            try:
+                while queue:
+                    when, _seq, event = heappop(queue)
+                    self._now = when
+                    processed += 1
+                    event._process()
+            finally:
+                self._processed_events += processed
             return
         if until < self._now:
             raise ValueError(
                 f"cannot run backwards: until={until} < now={self._now}"
             )
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
+        try:
+            while queue and queue[0][0] <= until:
+                when, _seq, event = heappop(queue)
+                self._now = when
+                processed += 1
+                event._process()
+        finally:
+            self._processed_events += processed
         self._now = until

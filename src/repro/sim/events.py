@@ -10,8 +10,15 @@ Lifecycle::
     pending --succeed(value)/fail(exc)--> triggered --queue pop--> processed
 
 Callbacks registered on a pending or triggered event run when the event is
-processed; callbacks added after processing run immediately (scheduled at the
-current instant), so late waiters never deadlock.
+processed; callbacks added after processing run at the current instant via a
+relay that rides the queue, so late waiters never deadlock and execution
+order stays queue-driven.  Late registrations made while a relay is still
+pending join that relay: they run adjacently at its queue position, in
+registration order — one queue entry for the batch, not one per waiter.
+
+Events are the most-allocated objects in a simulation (every timeout, every
+message delivery, every process resumption), so every class in this module
+uses ``__slots__`` and keeps ``__init__`` to plain attribute stores.
 """
 
 from __future__ import annotations
@@ -27,12 +34,15 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence that processes can wait on."""
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_late_relay")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = _PENDING
         self._ok: bool | None = None
         self._scheduled = False
+        self._late_relay: Event | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -51,7 +61,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only meaningful once triggered."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise RuntimeError("event has not been triggered yet")
         return bool(self._ok)
 
@@ -68,7 +78,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Mark the event successful and schedule its callbacks."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         self._ok = True
         self._value = value
@@ -78,7 +88,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Mark the event failed; waiters see the exception raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() requires an exception, got {exception!r}")
@@ -97,21 +107,28 @@ class Event:
 
         If the event was already processed the callback is invoked via a
         zero-delay relay event so that execution order stays queue-driven.
+        Consecutive late registrations share one relay (one queue entry, one
+        allocation) until it fires; they still run in registration order at
+        the current instant.
         """
         if self.callbacks is not None:
             self.callbacks.append(callback)
             return
-        relay = Event(self.env)
+        relay = self._late_relay
+        if relay is None or relay.callbacks is None:
+            relay = Event(self.env)
+            relay._ok = True
+            relay._value = None
+            self.env.sim.schedule(relay)
+            self._late_relay = relay
         relay.callbacks.append(lambda _e: callback(self))
-        relay._ok = True
-        relay._value = None
-        self.env.sim.schedule(relay)
 
     def _process(self) -> None:
         """Run callbacks.  Called by the simulator when popped."""
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             return
-        callbacks, self.callbacks = self.callbacks, None
+        self.callbacks = None
         for callback in callbacks:
             callback(self)
 
@@ -122,16 +139,44 @@ class Event:
         return f"<{type(self).__name__} {state} at {hex(id(self))}>"
 
 
+class Notification(Event):
+    """Base for fire-and-forget events nothing ever waits on.
+
+    Subclasses override ``_process`` to perform their action directly; the
+    callback machinery is bypassed entirely (``callbacks`` stays ``None``).
+    The init writes every :class:`Event` slot by hand instead of going
+    through ``Event.__init__`` — these are the hottest allocations in the
+    simulation (one per message delivery, one per request deadline), and
+    skipping the callback-list allocation is the point.  Keeping the slot
+    list in one place here is what lets subclasses stay oblivious when a
+    slot is added to :class:`Event`.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+        self._scheduled = True
+        self._late_relay = None
+
+
 class Timeout(Event):
     """An event that fires ``delay`` ms after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        super().__init__(env)
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
+        self._late_relay = None
+        self.delay = delay
         env.sim.schedule(self, delay)
         self._scheduled = True
 
@@ -150,6 +195,8 @@ class Condition(Event):
     value.  If any child fails before the predicate holds, the condition
     fails with that child's exception.
     """
+
+    __slots__ = ("events", "_fired")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
@@ -181,12 +228,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Succeeds as soon as any child event succeeds."""
 
+    __slots__ = ()
+
     def _predicate(self) -> bool:
         return len(self._fired) >= 1
 
 
 class AllOf(Condition):
     """Succeeds when all child events have succeeded."""
+
+    __slots__ = ()
 
     def _predicate(self) -> bool:
         return len(self._fired) == len(self.events)

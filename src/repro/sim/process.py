@@ -20,7 +20,7 @@ from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.errors import InvalidYield, ProcessKilled
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.env import Environment
@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Process(Event):
     """Drives a generator, resuming it each time a yielded event fires."""
+
+    __slots__ = ("name", "_generator", "_waiting_on", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
         if not isinstance(generator, GeneratorType):
@@ -39,6 +41,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Event | None = None
+        # One bound method for the life of the process: re-binding
+        # ``self._resume`` on every yield shows up in kernel profiles.
+        self._resume_cb = self._resume
         # Kick off the process with a zero-delay bootstrap event so that
         # process creation is cheap and ordering stays queue-driven.
         bootstrap = Event(env)
@@ -72,15 +77,12 @@ class Process(Event):
     # ------------------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # killed while the wakeup was in flight
         if self._waiting_on is not None and event is not self._waiting_on:
             return  # stale wakeup from an event we abandoned via kill()
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, throw=False)
-        else:
-            self._step(event.value, throw=True)
+        self._step(event._value, not event._ok)
 
     def _step(self, value: Any, throw: bool) -> None:
         try:
@@ -122,4 +124,4 @@ class Process(Event):
             self.callbacks = None
             raise error
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)

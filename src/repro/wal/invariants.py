@@ -41,6 +41,7 @@ path does.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Mapping
 
 from repro.model import Item, Transaction, TransactionOutcome, TransactionStatus
@@ -126,7 +127,9 @@ def effective_log(
 
 
 def check_no_orphaned_prepares(
-    replicas: list[LogReplica], decisions: Mapping[str, bool] | None = None
+    replicas: list[LogReplica],
+    decisions: Mapping[str, bool] | None = None,
+    log: Mapping[int, LogEntry] | None = None,
 ) -> list[str]:
     """(2PC) every prepare entry's transaction has a durable decision.
 
@@ -135,7 +138,8 @@ def check_no_orphaned_prepares(
     """
     violations: list[str] = []
     resolved = decisions or {}
-    log = global_log(replicas)
+    if log is None:
+        log = global_log(replicas)
     for position in sorted(log):
         entry = log[position]
         if entry.kind == "prepare" and entry.gtid not in resolved:
@@ -165,7 +169,9 @@ def check_r1_replica_agreement(replicas: list[LogReplica]) -> list[str]:
 
 
 def check_l1_only_committed(
-    replicas: list[LogReplica], outcomes: list[TransactionOutcome]
+    replicas: list[LogReplica],
+    outcomes: list[TransactionOutcome],
+    log: Mapping[int, LogEntry] | None = None,
 ) -> list[str]:
     """(L1) plus durability, phrased over observable outcomes.
 
@@ -178,7 +184,8 @@ def check_l1_only_committed(
     unconstrained — the paper allows either result in that case (§4.1).
     """
     violations: list[str] = []
-    log = global_log(replicas)
+    if log is None:
+        log = global_log(replicas)
     logged_tids = {
         txn.tid for entry in log.values() for txn in entry.transactions
     }
@@ -200,6 +207,8 @@ def check_read_only_consistency(
     outcomes: list[TransactionOutcome],
     initial_image: Mapping[Item, Any] | None = None,
     decisions: Mapping[str, bool] | None = None,
+    log: Mapping[int, LogEntry] | None = None,
+    shadows: set[int] | None = None,
 ) -> list[str]:
     """Read-only transactions read a consistent snapshot (Theorem 1).
 
@@ -207,20 +216,32 @@ def check_read_only_consistency(
     after the last transaction written at its read position, so its observed
     values must equal the one-copy state after replaying the log through
     that position.
+
+    The replay is indexed, not materialized: instead of copying the whole
+    one-copy state dict at every position (quadratic in log length × item
+    count), one pass records each item's version list and every read resolves
+    by bisecting that list at its read position.
     """
     violations: list[str] = []
-    log = global_log(replicas)
-    shadows = queue_shadow_positions(log)
-    # Precompute the state after each position once.
-    states: dict[int, dict[Item, Any]] = {0: dict(initial_image or {})}
-    state = dict(states[0])
-    for position in sorted(log):
-        if position not in shadows:
-            for txn in effective_transactions(log[position], decisions):
-                for item, value in txn.writes:
-                    state[item] = value
-        states[position] = dict(state)
-    max_known = max(states)
+    if log is None:
+        log = global_log(replicas)
+    if shadows is None:
+        shadows = queue_shadow_positions(log)
+    initial = dict(initial_image or {})
+    # One pass: versions[item] = ([position, ...], [value, ...]) in log order.
+    versions: dict[Item, tuple[list[int], list[Any]]] = {}
+    positions = sorted(log)
+    for position in positions:
+        if position in shadows:
+            continue
+        for txn in effective_transactions(log[position], decisions):
+            for item, value in txn.writes:
+                lists = versions.get(item)
+                if lists is None:
+                    lists = versions[item] = ([], [])
+                lists[0].append(position)
+                lists[1].append(value)
+    max_known = positions[-1] if positions else 0
     for outcome in outcomes:
         txn = outcome.transaction
         if not (outcome.status is TransactionStatus.COMMITTED and txn.is_read_only):
@@ -231,14 +252,13 @@ def check_read_only_consistency(
                 f"the known log (max {max_known})"
             )
             continue
-        # read_position may fall in a gap only if the log has gaps, which
-        # (L3) reports separately; fall back to the nearest earlier state.
-        reference = txn.read_position
-        while reference not in states:
-            reference -= 1
-        snapshot_state = states[reference]
         for item, recorded_value in txn.read_snapshot:
-            expected = snapshot_state.get(item)
+            lists = versions.get(item)
+            expected = initial.get(item)
+            if lists is not None:
+                index = bisect_right(lists[0], txn.read_position) - 1
+                if index >= 0:
+                    expected = lists[1][index]
             if expected != recorded_value:
                 violations.append(
                     f"(RO) {txn.tid} at read position {txn.read_position} read "
@@ -248,7 +268,11 @@ def check_read_only_consistency(
     return violations
 
 
-def check_l2_single_position(replicas: list[LogReplica]) -> list[str]:
+def check_l2_single_position(
+    replicas: list[LogReplica],
+    log: Mapping[int, LogEntry] | None = None,
+    shadows: set[int] | None = None,
+) -> list[str]:
     """(L2): each transaction occupies exactly one log position.
 
     Queue redelivery shadows are exempt: a pump crash legitimately lands the
@@ -257,8 +281,10 @@ def check_l2_single_position(replicas: list[LogReplica]) -> list[str]:
     twins of their first occurrence).
     """
     violations: list[str] = []
-    log = global_log(replicas)
-    shadows = queue_shadow_positions(log)
+    if log is None:
+        log = global_log(replicas)
+    if shadows is None:
+        shadows = queue_shadow_positions(log)
     first_seen: dict[str, int] = {}
     for position in sorted(log):
         if position in shadows:
@@ -276,6 +302,8 @@ def check_l3_prefix_serializable(
     replicas: list[LogReplica],
     initial_image: Mapping[Item, Any] | None = None,
     decisions: Mapping[str, bool] | None = None,
+    log: Mapping[int, LogEntry] | None = None,
+    shadows: set[int] | None = None,
 ) -> list[str]:
     """(L3): replay the log and verify every recorded read.
 
@@ -289,8 +317,10 @@ def check_l3_prefix_serializable(
     """
     violations: list[str] = []
     state: dict[Item, Any] = dict(initial_image or {})
-    log = global_log(replicas)
-    shadows = queue_shadow_positions(log)
+    if log is None:
+        log = global_log(replicas)
+    if shadows is None:
+        shadows = queue_shadow_positions(log)
     positions = sorted(log)
     # Verify contiguity: a chosen position with an unchosen predecessor means
     # catch-up was not run to completion before checking.
@@ -334,14 +364,24 @@ def run_all_checks(
 
     ``decisions`` resolves 2PC prepare entries (gtid → committed); pass the
     post-recovery map when the run produced cross-group transactions.
+
+    The merged log and the queue-shadow set are computed once and shared by
+    every checker — each used to rebuild them from the replicas on its own,
+    which multiplied the rescans by the number of checks.
     """
+    log = global_log(replicas)
+    shadows = queue_shadow_positions(log)
     violations = (
         check_r1_replica_agreement(replicas)
-        + check_l1_only_committed(replicas, outcomes)
-        + check_l2_single_position(replicas)
-        + check_l3_prefix_serializable(replicas, initial_image, decisions)
-        + check_read_only_consistency(replicas, outcomes, initial_image, decisions)
-        + check_no_orphaned_prepares(replicas, decisions)
+        + check_l1_only_committed(replicas, outcomes, log=log)
+        + check_l2_single_position(replicas, log=log, shadows=shadows)
+        + check_l3_prefix_serializable(
+            replicas, initial_image, decisions, log=log, shadows=shadows
+        )
+        + check_read_only_consistency(
+            replicas, outcomes, initial_image, decisions, log=log, shadows=shadows
+        )
+        + check_no_orphaned_prepares(replicas, decisions, log=log)
     )
     if violations:
         raise InvariantViolation(violations)

@@ -77,6 +77,104 @@ class TestCallbacks:
         assert seen == [0, 1, 2]
 
 
+class TestLateCallbacks:
+    """Pin the semantics of add_callback on an already-processed event.
+
+    Late waiters are relayed through the event queue: they never run
+    synchronously inside add_callback, they run at the current instant in
+    the order they were added, and they observe the original event (value,
+    ok flag) — regardless of how the kernel batches the relays internally.
+    """
+
+    def test_late_callback_is_queue_driven_not_immediate(self, env):
+        event = env.event()
+        event.succeed("v")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == []  # deferred through the queue, never synchronous
+        env.run()
+        assert seen == ["v"]
+
+    def test_late_callbacks_run_in_add_order(self, env):
+        event = env.event()
+        event.succeed()
+        env.run()
+        seen = []
+        for index in range(4):
+            event.add_callback(lambda e, i=index: seen.append(i))
+        env.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_late_callback_on_failed_event_sees_failure(self, env):
+        event = env.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        # Nobody waited, so the failure was processed without raising.
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append((e.ok, e.value)))
+        env.run()
+        assert seen == [(False, error)]
+
+    def test_late_callback_added_during_processing_runs_same_instant(self, env):
+        event = env.event()
+        seen = []
+
+        def first(e):
+            seen.append(("first", env.now))
+            # The event is processed by now; this goes the late-relay path.
+            e.add_callback(lambda e2: seen.append(("late", env.now)))
+
+        event.add_callback(first)
+        event.succeed()
+        env.run()
+        assert seen == [("first", 0.0), ("late", 0.0)]
+
+    def test_late_callbacks_interleave_with_current_instant_queue(self, env):
+        # A late callback runs after events that were already queued when it
+        # was added — relays ride the queue like everything else.
+        event = env.event()
+        event.succeed()
+        env.run()
+        seen = []
+        env.timeout(0.0).add_callback(lambda e: seen.append("queued"))
+        event.add_callback(lambda e: seen.append("late"))
+        env.run()
+        assert seen == ["queued", "late"]
+
+    def test_late_registrations_share_the_pending_relay(self, env):
+        # Registrations made while a relay is still pending join it and run
+        # adjacently at its queue position — ahead of events scheduled
+        # between the two registrations (the batch holds one queue slot).
+        event = env.event()
+        event.succeed()
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append("late-1"))
+        env.timeout(0.0).add_callback(lambda e: seen.append("between"))
+        event.add_callback(lambda e: seen.append("late-2"))
+        env.run()
+        assert seen == ["late-1", "late-2", "between"]
+        # Once the relay has fired, a fresh registration gets a fresh relay
+        # behind anything queued in the meantime.
+        env.timeout(0.0).add_callback(lambda e: seen.append("queued"))
+        event.add_callback(lambda e: seen.append("late-3"))
+        env.run()
+        assert seen == ["late-1", "late-2", "between", "queued", "late-3"]
+
+    def test_clock_does_not_advance_for_late_callbacks(self, env):
+        env.timeout(7.0)
+        env.run()
+        event = env.event()
+        event.succeed()
+        env.run()
+        fired_at = []
+        event.add_callback(lambda e: fired_at.append(env.now))
+        env.run()
+        assert fired_at == [7.0]
+
+
 class TestTimeout:
     def test_fires_at_delay_with_value(self, env):
         timeout = env.timeout(4.0, value="done")
