@@ -50,6 +50,16 @@ PROTOCOLS = ("paxos", "paxos-cp")
 N_THREADS = 8
 RATE_PER_THREAD = 8.0
 
+#: The sharded-simulation showcase: a 64-group Figure-7 cell (one pinned
+#: workload thread per group — the paper's single-row entity group times 64)
+#: run once on the single-heap kernel and once on the sharded
+#: multiprocessing kernel at 8 shards.  Digest equality between the two is
+#: asserted every run; the wall-clocks land in benchmarks/baselines/kernel.json.
+SHARDED_GROUPS = 64
+SHARDED_SHARDS = 8
+SHARDED_TRANSACTIONS = 6400
+SHARDED_SMOKE_TRANSACTIONS = 960
+
 
 def groups_spec(
     protocol: str, n_groups: int, n_transactions: int = N_TRANSACTIONS
@@ -68,6 +78,99 @@ def groups_spec(
         ),
         protocol=protocol,
     )
+
+
+def sharded_spec(engine: str, n_transactions: int,
+                 shards: int = SHARDED_SHARDS) -> ExperimentSpec:
+    """The 64-group cell: per-group pinned threads, fixed per-group load."""
+    return ExperimentSpec(
+        # One name for every engine: metrics_digest hashes the cell name
+        # too, and the whole point is comparing digests across engines.
+        name=f"{SHARDED_GROUPS} groups sharded",
+        cluster=ClusterConfig(
+            placement=PlacementConfig.ranged(SHARDED_GROUPS),
+            shards=shards,
+            engine=engine,  # type: ignore[arg-type]
+        ),
+        workload=WorkloadConfig(
+            n_transactions=n_transactions,
+            n_rows=SHARDED_GROUPS,
+            n_threads=SHARDED_GROUPS,
+            target_rate_per_thread=RATE_PER_THREAD,
+            group_distribution="pinned",
+        ),
+        protocol="paxos-cp",
+    )
+
+
+def run_sharded_showcase(n_transactions: int) -> dict:
+    """The 64-group cell on both kernels; returns the baseline record.
+
+    Per-cell wall-clock is measured around ``run_once`` (one seed, no trial
+    averaging — this measures a *single run*, the thing the sweeps cannot
+    parallelize).  Digest equality between the kernels is asserted: the
+    sharded speedup must cost nothing in fidelity.
+    """
+    import os
+    import time
+
+    from repro.harness.experiment import run_once
+
+    cells = {}
+    results = {}
+    for engine in ("global", "sharded-mp"):
+        started = time.perf_counter()
+        results[engine] = run_once(sharded_spec(engine, n_transactions), seed=0)
+        cells[engine] = time.perf_counter() - started
+    digest_equal = (
+        metrics_digest([results["global"]])
+        == metrics_digest([results["sharded-mp"]])
+    )
+    assert digest_equal, (
+        "sharded-mp kernel diverged from the global kernel on the "
+        f"{SHARDED_GROUPS}-group cell"
+    )
+    from repro.harness.shardrun import resolve_workers
+
+    record = {
+        "groups": SHARDED_GROUPS,
+        "shards": SHARDED_SHARDS,
+        "transactions": n_transactions,
+        "serial_s": round(cells["global"], 3),
+        "sharded_mp_s": round(cells["sharded-mp"], 3),
+        "speedup": round(cells["global"] / cells["sharded-mp"], 3),
+        "workers": resolve_workers(SHARDED_SHARDS + 1, None),
+        "cpus": os.cpu_count() or 1,
+        "commits": results["global"].metrics.commits,
+        "digest_equal": digest_equal,
+    }
+    print(
+        f"{SHARDED_GROUPS}-group cell ({n_transactions} txns): "
+        f"global {cells['global']:.2f}s, sharded-mp "
+        f"{cells['sharded-mp']:.2f}s ({record['speedup']:.2f}x on "
+        f"{record['workers']} worker(s)/{record['cpus']} CPU(s)), "
+        f"digests equal"
+    )
+    profile = results["sharded-mp"].lane_profile
+    if profile is not None:
+        from repro.harness.profiling import format_lane_profile
+
+        print(format_lane_profile(profile))
+    return record
+
+
+def record_sharded_baseline(record: dict) -> None:
+    """Write the showcase record into the committed kernel baseline JSON."""
+    import json
+
+    from benchmarks.common import BASELINES_DIR
+
+    path = BASELINES_DIR / "kernel.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["groups_scaling_64"] = record
+    BASELINES_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"sharded baseline recorded: {path}")
 
 
 def committed_throughput(result: ExperimentResult) -> float:
@@ -168,10 +271,34 @@ def main(argv: list[str] | None = None) -> int:
              "sized so --jobs amortizes pool start-up (the speedup/"
              "determinism check), with only sanity assertions",
     )
+    parser.add_argument(
+        "--sharded64", action="store_true",
+        help=f"run the {SHARDED_GROUPS}-group sharded-simulation cell "
+             f"(global vs sharded-mp at {SHARDED_SHARDS} shards) instead of "
+             "the classic sweep; prints per-cell wall-clock and asserts "
+             "digest equality",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="with --sharded64: write the cell wall-clocks into "
+             "benchmarks/baselines/kernel.json (groups_scaling_64)",
+    )
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     def run(jobs: int) -> None:
+        if args.sharded64:
+            n = SHARDED_SMOKE_TRANSACTIONS if args.smoke else SHARDED_TRANSACTIONS
+            record = run_sharded_showcase(n)
+            if args.record_baseline:
+                record_sharded_baseline(record)
+            if record["cpus"] >= SHARDED_SHARDS and not args.smoke:
+                # The parallel-speedup acceptance only binds where cores
+                # exist, and only at full scale (the smoke cell is too
+                # small to amortize 9 worker world-rebuilds); a 1-CPU
+                # container can only prove digest equality.
+                assert record["speedup"] >= 2.0, record
+            return
         if args.smoke:
             results = run_sweep(n_transactions=300, trials=3, jobs=jobs)
             publish(results, GROUP_COUNTS)

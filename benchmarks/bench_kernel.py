@@ -73,6 +73,37 @@ def measure_events_per_sec(chain_procs: int, chain_hops: int) -> float:
     return best
 
 
+def measure_sharded_events_per_sec(chain_procs: int, chain_hops: int,
+                                   lanes: int = 8) -> float:
+    """Sharded-kernel scheduler throughput: the timeout-chain workload of
+    ``events_per_sec`` spread over independent event lanes.
+
+    The chains are pinned round-robin to the group lanes with an empty
+    channel graph, so the kernel drains each lane to completion in a single
+    lookahead window — the lane-decomposed regime the 64-group scaling runs
+    exercise.  Gated (warn-only) against the committed baseline like the
+    other substrate numbers.
+    """
+    from repro.sim.env import Environment
+
+    def chain(env, hops):
+        for _ in range(hops):
+            yield env.timeout(1.0)
+
+    best = 0.0
+    for _ in range(REPEATS):
+        env = Environment(seed=1, lanes=lanes + 1, engine="sharded",
+                          min_cross_delay=1.0)
+        env.sim.restrict_channels(set())
+        for index in range(chain_procs):
+            env.process(chain(env, chain_hops), lane=1 + index % lanes)
+        started = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - started
+        best = max(best, env.sim.processed_events / elapsed)
+    return best
+
+
 def measure_messages_per_sec(messages: int) -> float:
     """Network hot path: sequential request/response over two datacenters."""
     from repro.net.latency import RttMatrixLatency
@@ -143,6 +174,8 @@ def measure(scale: str) -> dict[str, float]:
     return {
         "events_per_sec": measure_events_per_sec(
             sizes["chain_procs"], sizes["chain_hops"]),
+        "sharded_events_per_sec": measure_sharded_events_per_sec(
+            sizes["chain_procs"], sizes["chain_hops"]),
         "messages_per_sec": measure_messages_per_sec(sizes["messages"]),
         "invariant_checks_per_sec": measure_invariant_checks_per_sec(
             sizes["check_transactions"], sizes["check_rounds"]),
@@ -180,17 +213,22 @@ def load_baseline() -> dict | None:
 
 
 def record_baseline(metrics: dict[str, float], scale: str) -> None:
-    """Write this scale's numbers, preserving the other scale's."""
+    """Write this scale's numbers, preserving the other scale's.
+
+    Foreign top-level keys (e.g. ``groups_scaling_64``, recorded by
+    bench_groups_scaling ``--sharded64 --record-baseline``) are carried
+    through untouched — the file is a shared baseline store.
+    """
     BASELINES_DIR.mkdir(exist_ok=True)
     payload = load_baseline() or {}
     scales = payload.get("scales", {})
     scales[scale] = {name: round(value) for name, value in metrics.items()}
-    payload = {
+    payload.update({
         "schema": 1,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scales": {name: scales[name] for name in sorted(scales)},
-    }
+    })
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"baseline recorded ({scale}): {BASELINE_PATH}")
 

@@ -75,8 +75,27 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="total rows across all groups (default: 1, or "
                              "one per group when --groups > 1)")
     parser.add_argument("--group-distribution", default="uniform",
-                        choices=["uniform", "zipfian"],
-                        help="how multi-group transactions pick their group")
+                        choices=["uniform", "zipfian", "pinned"],
+                        help="how multi-group transactions pick their group "
+                             "(pinned: each client thread owns one group "
+                             "round-robin — the shape the sharded engines "
+                             "decompose best)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the deployment into N event-lane "
+                             "shards (each owns a block of entity groups; "
+                             "needs --groups >= N).  Default 1: the classic "
+                             "unsharded deployment")
+    parser.add_argument("--engine", default="global",
+                        choices=["global", "sharded", "sharded-mp"],
+                        help="simulation kernel for the shard lanes: global "
+                             "(single heap, reference), sharded "
+                             "(conservative-lookahead lanes, one process), "
+                             "sharded-mp (lanes fanned over worker "
+                             "processes).  All engines produce identical "
+                             "metrics at the same --shards")
+    parser.add_argument("--shard-workers", type=int, default=None,
+                        help="worker processes for --engine sharded-mp "
+                             "(default: one per lane, capped by CPUs)")
     parser.add_argument("--cross-group-fraction", type=float, default=0.0,
                         help="fraction of transactions spanning several "
                              "groups, committed via 2PC (needs --groups > 1)")
@@ -114,6 +133,13 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         raise SystemExit(
             "error: --queue-fraction needs --groups > 1"
         )
+    if args.shards > 1 and args.shards > n_groups:
+        raise SystemExit(
+            f"error: --shards ({args.shards}) must not exceed --groups "
+            f"({n_groups}); every shard lane needs at least one entity group"
+        )
+    if args.group_distribution == "pinned" and n_groups < 2:
+        raise SystemExit("error: --group-distribution pinned needs --groups > 1")
     if args.queue_fraction > 0 and args.protocol == "leased-leader":
         raise SystemExit(
             "error: --queue-fraction is incompatible with leased-leader "
@@ -139,6 +165,9 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             store=StoreConfig(),
             protocol=protocol_config,
             placement=placement,
+            shards=args.shards,
+            engine=args.engine,
+            shard_workers=args.shard_workers,
         ),
         workload=WorkloadConfig(
             n_transactions=args.transactions,
@@ -176,6 +205,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_cell(spec, trials=args.trials, base_seed=args.seed,
                       jobs=args.jobs)
     print(format_cells([result]))
+    if args.profile and result.lane_profile is not None:
+        from repro.harness.profiling import format_lane_profile
+
+        print()
+        print(format_lane_profile(result.lane_profile))
     if len(result.per_instance) > 1:
         print()
         print(format_per_instance(result, title="per datacenter"))

@@ -53,6 +53,9 @@ from repro.model import (
 from repro.net.latency import RttMatrixLatency
 from repro.net.network import Network
 from repro.net.topology import Topology, cluster_preset
+from repro.sim.core import LaneStats, ShardedSimulator
+from repro.sim.shard import ShardMap
+from repro.sim.shard import store_name as shard_store_name
 from repro.serializability.checker import (
     check_queue_delivery,
     is_one_copy_serializable,
@@ -83,19 +86,35 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig | None = None) -> None:
         self.config = config or ClusterConfig()
-        self.env = Environment(seed=self.config.seed)
         self.topology: Topology = cluster_preset(self.config.cluster_code)
+        self.placement = Placement(self.config.placement)
+        self.shard_map = ShardMap(self.placement.groups, self.config.shards)
+        latency = RttMatrixLatency(self.topology, jitter=self.config.jitter)
+        # "sharded-mp" builds an in-process sharded kernel here; the
+        # multiprocessing orchestration (repro.harness.shardrun) runs one
+        # such kernel per worker, each owning a subset of the lanes.
+        engine = "sharded" if self.config.engine == "sharded-mp" \
+            else self.config.engine
+        self.env = Environment(
+            seed=self.config.seed,
+            lanes=self.shard_map.n_lanes,
+            engine=engine,
+            min_cross_delay=latency.min_delay(),
+        )
         self.network = Network(
             self.env,
             self.topology,
-            RttMatrixLatency(self.topology, jitter=self.config.jitter),
+            latency,
             loss_probability=self.config.loss_probability,
             duplicate_probability=self.config.duplicate_probability,
         )
         self.home_dc = self.topology.names[0]
-        self.placement = Placement(self.config.placement)
         self.stores: dict[str, MultiVersionStore] = {}
         self.services: dict[str, TransactionService] = {}
+        #: Full (datacenter, lane) grids; lane 0 is aliased by the legacy
+        #: per-datacenter dicts above.
+        self.lane_stores: dict[tuple[str, int], MultiVersionStore] = {}
+        self.lane_services: dict[tuple[str, int], TransactionService] = {}
         self._client_counters: dict[str, int] = {}
         self._initial_images: dict[str, dict[Item, Any]] = {}
         self._groups: set[str] = set()
@@ -115,20 +134,32 @@ class Cluster:
             self.config.store.op_low_ms, self.config.store.op_high_ms
         )
         for dc in self.topology.names:
-            store = MultiVersionStore(name=f"store:{dc}")
-            accessor = StoreAccessor(self.env, store, latency=store_latency)
-            service = TransactionService(
-                self.env, self.network, dc, store,
-                self.config.protocol, home_dc=self.home_dc,
-                store_accessor=accessor,
-                group_homes=group_homes,
-            )
-            install_leased_leader(service)
-            self.stores[dc] = store
-            self.services[dc] = service
-        names = [self.services[dc].node.name for dc in self.topology.names]
-        for service in self.services.values():
-            service.set_peers(names)
+            for lane in range(self.shard_map.n_lanes):
+                store = MultiVersionStore(name=shard_store_name(dc, lane))
+                accessor = StoreAccessor(self.env, store, latency=store_latency)
+                service = TransactionService(
+                    self.env, self.network, dc, store,
+                    self.config.protocol, home_dc=self.home_dc,
+                    store_accessor=accessor,
+                    group_homes=group_homes,
+                    lane=lane,
+                )
+                install_leased_leader(service)
+                self.lane_stores[(dc, lane)] = store
+                self.lane_services[(dc, lane)] = service
+                if lane == 0:
+                    self.stores[dc] = store
+                    self.services[dc] = service
+        for (dc, lane), service in self.lane_services.items():
+            peers = [
+                self.lane_services[(peer, lane)].node.name
+                for peer in self.topology.names
+            ]
+            decision_peers = [
+                self.lane_services[(peer, 0)].node.name
+                for peer in self.topology.names
+            ]
+            service.set_peers(peers, decision_peers=decision_peers)
 
     # ------------------------------------------------------------------
     # Population
@@ -142,7 +173,9 @@ class Cluster:
         """
         self._groups.add(group)
         image = self._initial_images.setdefault(group, {})
-        for dc, store in self.stores.items():
+        lane = self.shard_map.lane_of(group)
+        for dc in self.topology.names:
+            store = self.lane_stores[(dc, lane)]
             for row, attributes in rows.items():
                 store.write(data_row_key(group, row), dict(attributes), timestamp=0)
         for row, attributes in rows.items():
@@ -159,8 +192,14 @@ class Cluster:
         datacenter: str,
         protocol: ProtocolName = "paxos",
         name: str | None = None,
+        lane: int = 0,
     ) -> TransactionClient:
-        """Create a Transaction Client (an application instance) in *datacenter*."""
+        """Create a Transaction Client (an application instance) in *datacenter*.
+
+        ``lane`` places the client's node in one event lane — a thread
+        pinned to a single entity group belongs in that group's lane; the
+        default shared lane suits clients that roam groups.
+        """
         self.topology.get(datacenter)
         if name is None:
             count = self._client_counters.get(datacenter, 0) + 1
@@ -176,6 +215,8 @@ class Cluster:
             # single-group API admits arbitrary group names ("accounts"),
             # which a 1-group placement would spuriously reject.
             placement=self.placement if self.placement.n_groups > 1 else None,
+            shard_map=self.shard_map if not self.shard_map.single_lane else None,
+            lane=lane,
         )
 
     # ------------------------------------------------------------------
@@ -185,6 +226,30 @@ class Cluster:
     def run(self, until: float | None = None) -> None:
         """Advance the simulation (drains the queue when *until* is None)."""
         self.env.run(until)
+
+    def restrict_lane_channels(
+        self, channels: "set[tuple[int, int]]"
+    ) -> None:
+        """Install the run's cross-lane communication graph.
+
+        Only meaningful on the sharded kernel: lanes outside the graph get
+        unbounded lookahead horizons (an empty graph decomposes the run into
+        fully independent lanes), and a message crossing an undeclared pair
+        raises instead of silently miscomputing.  The graph must therefore
+        be a *superset* of the traffic the run can generate — the workload
+        driver and the queue pumps know theirs (see
+        :meth:`repro.sim.shard.ShardMap.channels_for_client` /
+        ``channels_for_pump``); the default, installed by the kernel itself,
+        is the always-sound complete graph.
+        """
+        sim = self.env.sim
+        if isinstance(sim, ShardedSimulator):
+            sim.restrict_channels(set(channels))
+
+    def lane_profile(self) -> "LaneStats | None":
+        """Per-lane kernel statistics (sharded kernel only)."""
+        sim = self.env.sim
+        return sim.stats if isinstance(sim, ShardedSimulator) else None
 
     @property
     def initial_image(self) -> dict[Item, Any]:
@@ -204,9 +269,20 @@ class Cluster:
         """Every entity group this cluster has data for, sorted by name."""
         return tuple(sorted(self._groups))
 
+    def service_for(self, datacenter: str, group: str) -> TransactionService:
+        """The service endpoint owning *group*'s log in *datacenter*."""
+        return self.lane_services[(datacenter, self.shard_map.lane_of(group))]
+
+    def store_for(self, datacenter: str, group: str) -> MultiVersionStore:
+        """The store partition holding *group*'s rows in *datacenter*."""
+        return self.lane_stores[(datacenter, self.shard_map.lane_of(group))]
+
     def replicas(self, group: str) -> list[LogReplica]:
         """Every datacenter's log replica for *group*."""
-        return [self.services[dc].replica(group) for dc in self.topology.names]
+        return [
+            self.service_for(dc, group).replica(group)
+            for dc in self.topology.names
+        ]
 
     # ------------------------------------------------------------------
     # Offline verification
@@ -229,8 +305,9 @@ class Cluster:
             for key in replica.store.keys():
                 if key.startswith(prefix):
                     positions.add(int(key[len(prefix):]))
+        lane = self.shard_map.lane_of(group)
         for position in sorted(positions):
-            entry = self._decided_value(paxos_row_key(group, position))
+            entry = self._decided_value(paxos_row_key(group, position), lane)
             if entry is not None:
                 decided[position] = entry
         for position, entry in decided.items():
@@ -238,16 +315,21 @@ class Cluster:
                 replica.record_chosen(position, entry)
         return {pos: entry for pos, entry in sorted(decided.items())}
 
-    def _decided_value(self, row_key: str) -> LogEntry | None:
+    def _lane_store_grid(self, lane: int) -> list[MultiVersionStore]:
+        """One lane's store partition in every datacenter."""
+        return [self.lane_stores[(dc, lane)] for dc in self.topology.names]
+
+    def _decided_value(self, row_key: str, lane: int = 0) -> LogEntry | None:
         """The provably decided value of one Paxos instance, by inspection.
 
         A value is decided iff some replica recorded it as chosen, or a
         majority of replicas hold it accepted at one ballot — the criterion
-        :meth:`finalize` and :meth:`cross_group_decisions` share.
+        :meth:`finalize` and :meth:`cross_group_decisions` share.  The
+        instance's rows live in *lane*'s store partitions.
         """
         votes: Counter = Counter()
         candidates: dict[tuple, LogEntry] = {}
-        for store in self.stores.values():
+        for store in self._lane_store_grid(lane):
             version = store.read(row_key)
             if version is None:
                 continue
@@ -264,7 +346,7 @@ class Cluster:
                 return candidates[key]
         return None
 
-    def _highest_vote(self, row_key: str) -> LogEntry | None:
+    def _highest_vote(self, row_key: str, lane: int = 0) -> LogEntry | None:
         """The highest-ballot accepted value of one Paxos instance, if any.
 
         The standard recovery proposal: with *every* replica visible, any
@@ -275,7 +357,7 @@ class Cluster:
         """
         best_ballot = None
         best_value: LogEntry | None = None
-        for store in self.stores.values():
+        for store in self._lane_store_grid(lane):
             version = store.read(row_key)
             if version is None:
                 continue
@@ -377,19 +459,23 @@ class Cluster:
         starts a fresh pump that resumes from the durable watermark.
         """
         home = self.placement.home_of(group, self.home_dc)
+        lane = self.shard_map.lane_of(group)
         self._pump_counter += 1
         pump = QueueDeliveryPump(
             self.env, self.network, home,
             name=f"pump:{group}:{self._pump_counter}",
             sender_group=group,
-            store=self.stores[home],
+            store=self.lane_stores[(home, lane)],
             service_names=ordered_service_names(list(self.topology.names), home),
             config=self.config.protocol,
+            shard_map=self.shard_map if not self.shard_map.single_lane else None,
+            datacenters=list(self.topology.names),
         )
         self._pumps.append((group, pump))
         return self.env.process(
             pump.run(poll_ms=poll_ms, idle_stop_after=idle_stop_after),
             name=pump.node.name,
+            lane=lane,
         )
 
     def start_queue_pumps(
@@ -445,7 +531,7 @@ class Cluster:
                         origin=DRAIN_ORIGIN, origin_dc=self.home_dc,
                     )
                     for dc in self.topology.names:
-                        self.services[dc].replica(receiver).record_chosen(
+                        self.service_for(dc, receiver).replica(receiver).record_chosen(
                             position, entry
                         )
                     logs[receiver][position] = entry
@@ -528,9 +614,16 @@ class Cluster:
             ).items():
                 expected[(receiver, sender)] = {send.seqno for send in sends}
         for dc in self.topology.names:
-            table = DeliveryTable(self.stores[dc])
             for receiver in sorted(logs):
-                for sender, seqnos in table.streams_into(receiver).items():
+                # Delivery marks live in the receiver group's store
+                # partition; the scan unions the whole lane grid so the
+                # phantom check sees every mark regardless of partition.
+                recorded: dict[str, set[int]] = {}
+                for lane in range(self.shard_map.n_lanes):
+                    table = DeliveryTable(self.lane_stores[(dc, lane)])
+                    for sender, seqnos in table.streams_into(receiver).items():
+                        recorded.setdefault(sender, set()).update(seqnos)
+                for sender, seqnos in recorded.items():
                     extra = seqnos - expected.get((receiver, sender), set())
                     if extra:
                         violations.append(

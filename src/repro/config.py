@@ -165,12 +165,30 @@ class StoreConfig:
         return cls(0.0, 0.0)
 
 
+#: Which simulation kernel a deployment runs on.  ``"global"`` is the
+#: single-heap reference; ``"sharded"`` partitions the event queue into
+#: per-shard lanes drained under conservative lookahead (field-identical
+#: results, one process); ``"sharded-mp"`` additionally fans the lanes out
+#: over worker processes (the harness orchestrates; a cluster built with it
+#: directly falls back to the in-process sharded kernel).
+EngineName = Literal["global", "sharded", "sharded-mp"]
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """A full deployment: datacenters, network behaviour, store behaviour.
 
     ``cluster_code`` uses the paper's letter codes (``"VVV"``, ``"COV"``,
     ...); see :func:`repro.net.topology.cluster_preset`.
+
+    ``shards`` partitions the deployment into event lanes: each lane owns a
+    contiguous block of the placement's entity groups — its per-datacenter
+    service endpoints and store partitions — while clients, coordinators,
+    and 2PC decision instances share lane 0.  ``engine`` picks the kernel
+    that drains those lanes; every engine produces field-identical metrics
+    for the same ``shards`` value (that is the sharded kernel's contract),
+    while different ``shards`` values are distinct deployments (different
+    node names and RNG streams) and are *not* comparable bit-for-bit.
     """
 
     cluster_code: str = "VVV"
@@ -181,6 +199,21 @@ class ClusterConfig:
     store: StoreConfig = field(default_factory=StoreConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     placement: PlacementConfig = field(default_factory=PlacementConfig)
+    shards: int = 1
+    engine: EngineName = "global"
+    #: Worker processes for ``engine="sharded-mp"`` (None: one per group
+    #: lane, capped by the CPU count).
+    shard_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.shards > self.placement.n_groups:
+            raise ValueError(
+                f"shards={self.shards} exceeds the placement's "
+                f"{self.placement.n_groups} group(s); each shard lane needs "
+                f"at least one entity group"
+            )
 
     @property
     def n_datacenters(self) -> int:
@@ -211,7 +244,13 @@ class WorkloadConfig:
     #: How a multi-group workload picks the entity group of each transaction
     #: (only consulted when the driver runs against a placement with more
     #: than one group; ``group`` above names the single-group target).
-    group_distribution: Literal["uniform", "zipfian"] = "uniform"
+    #: ``"pinned"`` statically partitions the client threads over the groups
+    #: round-robin — thread *i* only ever touches group ``i % n_groups`` —
+    #: the paper's single-group workload times N.  Pinned threads draw from
+    #: per-thread RNG streams and, on a sharded deployment, run in their
+    #: group's event lane, which is what lets the multiprocessing kernel
+    #: decompose the run outright.
+    group_distribution: Literal["uniform", "zipfian", "pinned"] = "uniform"
     group_zipfian_theta: float = 0.99
     #: Fraction of transactions that span several entity groups and commit
     #: through the 2PC coordinator (multi-group mode only; 0 reproduces the

@@ -63,6 +63,7 @@ from repro.wal.entry import LogEntry
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
     from repro.sim.env import Environment
+    from repro.sim.shard import ShardMap
 
 
 @dataclass
@@ -159,16 +160,21 @@ class TransactionClient:
         protocol: ProtocolName = "paxos",
         home_dc: str | None = None,
         placement: Placement | None = None,
+        shard_map: "ShardMap | None" = None,
+        lane: int = 0,
     ) -> None:
         self.env = env
         self.datacenter = datacenter
         self.config = config
-        self.node = Node(env, network, name, datacenter)
+        self.node = Node(env, network, name, datacenter, lane=lane)
         self.datacenters = list(datacenters)
         self.home_dc = home_dc or self.datacenters[0]
         self.protocol_name = protocol
         self.protocol = self._make_protocol(protocol)
         self.placement = placement
+        #: Group → event-lane routing on sharded deployments; ``None`` keeps
+        #: the historic single-service-per-datacenter addressing.
+        self.shard_map = shard_map
         self._txn_counter = 0
 
     def _make_protocol(self, protocol: ProtocolName):
@@ -191,14 +197,25 @@ class TransactionClient:
     # Topology helpers used by the protocols
     # ------------------------------------------------------------------
 
-    def service_names(self) -> list[str]:
-        """All Transaction Service node names, local datacenter first."""
+    def service_names(self, group: str | None = None) -> list[str]:
+        """All of *group*'s Transaction Service names, local datacenter first.
+
+        On a sharded deployment the group picks the service lane; without a
+        shard map (or a group) the historic one-service-per-datacenter names
+        are returned.
+        """
+        if self.shard_map is not None and group is not None:
+            return self.shard_map.ordered_service_names(
+                self.datacenters, self.datacenter, group
+            )
         return ordered_service_names(self.datacenters, self.datacenter)
 
-    def service_in(self, datacenter: str) -> str | None:
+    def service_in(self, datacenter: str, group: str | None = None) -> str | None:
         """Service node name in *datacenter*, if it is part of the deployment."""
         if datacenter not in self.datacenters:
             return None
+        if self.shard_map is not None and group is not None:
+            return self.shard_map.service_name(datacenter, group)
         return service_name(datacenter)
 
     # ------------------------------------------------------------------
@@ -263,7 +280,7 @@ class TransactionClient:
     def _begin_group(self, group: str, begin_time: float) -> Generator:
         """The ``begin`` exchange for one group (§4 step 1, with failover)."""
         request = BeginRequest(group=group)
-        for svc in self.service_names():
+        for svc in self.service_names(group):
             gather = self.node.request(svc, BEGIN, request, timeout_ms=self.config.timeout_ms)
             responses = yield gather
             if responses:
@@ -334,7 +351,7 @@ class TransactionClient:
             group=handle.group, row=row, attribute=attribute,
             position=handle.read_position,
         )
-        for svc in self.service_names():
+        for svc in self.service_names(handle.group):
             gather = self.node.request(svc, READ, request, timeout_ms=self.config.timeout_ms)
             responses = yield gather
             if responses and responses[0].payload.ok:

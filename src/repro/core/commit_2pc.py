@@ -230,7 +230,7 @@ class TwoPhaseCommit:
         proposal = LogEntry.marker(commit, gtid, participants)
         proposer = SynodProposer(
             self.client.node, decision_group(gtid), 1,
-            self.client.service_names(), self.config,
+            self.client.service_names(decision_group(gtid)), self.config,
         )
         ballot = Ballot(1, f"2pc:{gtid}:{self.client.node.name}")
         for _attempt in range(self.MAX_DECIDE_ATTEMPTS):
@@ -270,7 +270,7 @@ class TwoPhaseCommit:
         for _attempt in range(self.MAX_DECIDE_ATTEMPTS):
             proposer = SynodProposer(
                 self.client.node, group, position,
-                self.client.service_names(), self.config,
+                self.client.service_names(group), self.config,
             )
             ballot = Ballot(1, identity)
             prepare = yield from proposer.prepare(ballot)

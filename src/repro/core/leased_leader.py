@@ -148,7 +148,9 @@ class LeasedLeaderCommit(PaxosCommitBase):
 
     def commit(self, context: "CommitContext") -> Generator:
         txn = context.transaction
-        leader_service = self.client.service_in(context.home_dc)
+        leader_service = self.client.service_in(
+            context.home_dc, context.transaction.group
+        )
         gather = self.client.node.request(
             leader_service, LEADER_COMMIT, LeaderCommitRequest(txn),
             timeout_ms=self.config.timeout_ms,

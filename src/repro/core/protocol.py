@@ -105,7 +105,7 @@ class PaxosCommitBase:
         ballot reuse — once let two different values share one ballot; see
         tests/integration/test_serializability_properties.py).
         """
-        leader_service = self.client.service_in(leader_dc)
+        leader_service = self.client.service_in(leader_dc, group)
         if leader_service is None:
             return False
         payload = m.LeaderClaimPayload(group, position, claimant)
@@ -137,7 +137,8 @@ class PaxosCommitBase:
         transaction id is.
         """
         proposer = SynodProposer(
-            self.client.node, group, position, self.client.service_names(), self.config
+            self.client.node, group, position,
+            self.client.service_names(group), self.config,
         )
         majority = proposer.majority
         identity = txn.tid

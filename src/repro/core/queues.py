@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.kvstore.store import MultiVersionStore
     from repro.net.network import Network
     from repro.sim.env import Environment
+    from repro.sim.shard import ShardMap
 
 #: Store-key prefixes of the two durable queue tables.
 PUMP_PREFIX = "_queue/pump/"
@@ -327,14 +328,29 @@ class QueueDeliveryPump:
         store: "MultiVersionStore",
         service_names: list[str],
         config: ProtocolConfig,
+        shard_map: "ShardMap | None" = None,
+        datacenters: list[str] | None = None,
     ) -> None:
         self.env = env
         self.sender_group = sender_group
         self.config = config
-        self.node = Node(env, network, name, datacenter)
+        #: On a sharded deployment the pump lives in its *sender group's*
+        #: lane — it polls that group's durable log and status tables, which
+        #: only exist in that lane's store partition.  (Receiver-group state
+        #: is reached by messaging, never by store reads.)
+        lane = shard_map.lane_of(sender_group) if shard_map is not None else 0
+        self.node = Node(env, network, name, datacenter, lane=lane)
         self.store = store
         self.table = DeliveryTable(store)
         self.services = list(service_names)
+        self.shard_map = shard_map
+        self.datacenters = list(datacenters or [])
+        #: Last receiver position this incarnation confirmed, per receiver.
+        #: A multi-lane pump cannot see receiver logs in its local store
+        #: partition (they belong to other lanes), so without this hint
+        #: every append would Synod-walk from position 1.  Only consulted on
+        #: multi-lane maps — the single-lane path stays byte-identical.
+        self._receiver_heads: dict[str, int] = {}
         self._rng = env.rng.stream(f"queuepump.{name}")
         #: Confirmed deliveries, for the harness lag/depth metrics.
         self.delivered: list[DeliveryRecord] = []
@@ -466,6 +482,15 @@ class QueueDeliveryPump:
                 depth += 1
         return depth
 
+    def _services_for(self, receiver: str) -> list[str]:
+        """Service names owning *receiver*'s log (its lane on a sharded
+        deployment; the fixed per-datacenter services otherwise)."""
+        if self.shard_map is None or not self.datacenters:
+            return self.services
+        return self.shard_map.ordered_service_names(
+            self.datacenters, self.node.datacenter, receiver
+        )
+
     # ------------------------------------------------------------------
     # Appending one message at the receiver
     # ------------------------------------------------------------------
@@ -490,15 +515,19 @@ class QueueDeliveryPump:
             origin=f"pump:{self.sender_group}", origin_dc=self.node.datacenter,
         )
         position = LogReplica(self.store, receiver).read_position() + 1
+        if self.shard_map is not None and not self.shard_map.single_lane:
+            position = max(position, self._receiver_heads.get(receiver, 0) + 1)
+        services = self._services_for(receiver)
         identity = f"{queue_apply_tid(self.sender_group, receiver, seqno)}:{self.node.name}"
         for _attempt in range(self.MAX_APPEND_ATTEMPTS):
             proposer = SynodProposer(
-                self.node, receiver, position, self.services, self.config
+                self.node, receiver, position, services, self.config
             )
             ballot = Ballot(1, identity)
             prepare = yield from proposer.prepare(ballot)
             if prepare.chosen is not None:
                 if prepare.chosen.queue_key == value.queue_key:
+                    self._receiver_heads[receiver] = position
                     return True
                 position += 1
                 continue
@@ -512,6 +541,7 @@ class QueueDeliveryPump:
             if accept.successes >= proposer.majority:
                 proposer.apply(ballot, winner)
                 if winner.queue_key == value.queue_key:
+                    self._receiver_heads[receiver] = position
                     return True
                 position += 1
                 continue

@@ -42,6 +42,7 @@ from repro.net.node import Node
 from repro.paxos import messages as m
 from repro.paxos.acceptor import Acceptor
 from repro.paxos.learner import Learner
+from repro.sim.shard import service_node_name
 from repro.sim.sync import Lock
 from repro.wal.log import LogReplica, data_row_key
 from repro.wal.entry import LogEntry
@@ -88,9 +89,14 @@ class BeginRequest:
     group: str
 
 
-def service_name(datacenter: str) -> str:
-    """Canonical node name of the Transaction Service in *datacenter*."""
-    return f"svc:{datacenter}"
+def service_name(datacenter: str, lane: int = 0) -> str:
+    """Canonical node name of the Transaction Service in *datacenter*.
+
+    Lane 0 keeps the historic single-service name; a sharded deployment
+    runs one service per (datacenter, lane) — see
+    :func:`repro.sim.shard.service_node_name`, which owns the scheme.
+    """
+    return service_node_name(datacenter, lane)
 
 
 def ordered_service_names(datacenters: list[str], local: str) -> list[str]:
@@ -116,6 +122,7 @@ class TransactionService:
         home_dc: str,
         store_accessor: StoreAccessor | None = None,
         group_homes: "Mapping[str, str] | None" = None,
+        lane: int = 0,
     ) -> None:
         self.env = env
         self.datacenter = datacenter
@@ -124,7 +131,9 @@ class TransactionService:
         self.group_homes = dict(group_homes or {})
         self.store = store
         self.accessor = store_accessor or StoreAccessor(env, store)
-        self.node = Node(env, network, service_name(datacenter), datacenter)
+        self.lane = lane
+        self.node = Node(env, network, service_name(datacenter, lane),
+                         datacenter, lane=lane)
         self.acceptor = Acceptor(self.accessor)
         self.txn_status = TxnStatusTable(store)
         self.delivery = DeliveryTable(store)
@@ -132,11 +141,23 @@ class TransactionService:
         self._apply_locks: dict[str, Lock] = {}
         self._leader_claims: dict[tuple[str, int], str] = {}
         self._peers: list[str] = []
+        self._decision_peers: list[str] = []
         self._register_handlers()
 
-    def set_peers(self, service_names: list[str]) -> None:
-        """Tell this service where the other replicas are (for catch-up)."""
+    def set_peers(self, service_names: list[str],
+                  decision_peers: list[str] | None = None) -> None:
+        """Tell this service where the other replicas are (for catch-up).
+
+        ``decision_peers`` names the services owning the 2PC decision
+        instances (the shared lane on a sharded deployment); a group-lane
+        service resolving an in-doubt prepare runs its LEARN round against
+        them.  Defaults to the same peers — the single-lane layout, where
+        one service per datacenter owns everything.
+        """
         self._peers = list(service_names)
+        self._decision_peers = list(
+            decision_peers if decision_peers is not None else service_names
+        )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -336,7 +357,9 @@ class TransactionService:
         decided = self.replica(instance).chosen_entry(1)
         if decided is None:
             learner = Learner(
-                self.node, instance, self._peers or [self.node.name], self.config
+                self.node, instance,
+                self._decision_peers or self._peers or [self.node.name],
+                self.config,
             )
             decided = yield from learner.learn(1)
         if decided is None:

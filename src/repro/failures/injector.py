@@ -2,12 +2,27 @@
 
 All methods schedule effects at absolute simulated times (ms) and return
 immediately; the effects fire as the simulation advances.  Every method can
-be called before or during a run.
+be called before a run or between ``run()`` segments.  On the single-heap
+kernels faults may also be scheduled from *inside* a running process; the
+sharded kernel rejects that (a process in one lane scheduling into another
+lane's timeline is exactly the cross-lane coupling conservative lookahead
+forbids), so under ``engine="sharded"`` declare faults while the simulation
+is paused.
+
+**Sharded deployments.**  On a lane-partitioned cluster each fault is
+*replicated*: the same effect is scheduled once per event lane, each firing
+from that lane's own timeline against that lane's view of the network state
+(outage sets, severed links, loss rates are all per-lane).  A lane therefore
+observes the fault at exactly the declared simulated time relative to its
+own traffic, without any cross-lane state write — which is what keeps the
+conservative-lookahead kernel's lanes independent.  Process kills are not
+replicated; they fire once, in the victim's lane.  On single-lane clusters
+all of this collapses to the original direct mutation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.process import Process
 
@@ -24,15 +39,35 @@ class FailureInjector:
         self.network = cluster.network
         self.log: list[tuple[float, str]] = []
 
-    def _at(self, when_ms: float, action, description: str) -> None:
+    def _at(self, when_ms: float, action: Callable[[], None],
+            description: str, lane: int | None = None) -> None:
+        """Fire *action* at *when_ms* in one lane (default: the ambient one)."""
         delay = max(0.0, when_ms - self.env.now)
-        wakeup = self.env.timeout(delay)
+        wakeup = self.env.timeout(delay, lane=lane)
 
         def fire(_event) -> None:
             self.log.append((self.env.now, description))
             action()
 
         wakeup.add_callback(fire)
+
+    def _at_every_lane(self, when_ms: float,
+                       action: Callable[[int], None],
+                       description: str) -> None:
+        """Replicate a network-state fault into every lane's timeline.
+
+        ``action(lane)`` must mutate only that lane's view.  The injector
+        log records the lane-0 replica only (one line per declared fault).
+        """
+        delay = max(0.0, when_ms - self.env.now)
+        for lane in range(self.env.lane_count):
+
+            def fire(_event, lane: int = lane) -> None:
+                if lane == 0:
+                    self.log.append((self.env.now, description))
+                action(lane)
+
+            self.env.timeout(delay, lane=lane).add_callback(fire)
 
     # ------------------------------------------------------------------
     # Datacenter outages
@@ -46,10 +81,16 @@ class FailureInjector:
         message delivery stops — which is exactly the paper's failure model
         for transaction tiers going offline and back online.
         """
-        self._at(start_ms, lambda: self.network.take_down(datacenter),
-                 f"outage start {datacenter}")
-        self._at(start_ms + duration_ms, lambda: self.network.bring_up(datacenter),
-                 f"outage end {datacenter}")
+        self._at_every_lane(
+            start_ms,
+            lambda lane: self.network.take_down(datacenter, lane=lane),
+            f"outage start {datacenter}",
+        )
+        self._at_every_lane(
+            start_ms + duration_ms,
+            lambda lane: self.network.bring_up(datacenter, lane=lane),
+            f"outage end {datacenter}",
+        )
 
     # ------------------------------------------------------------------
     # Message loss
@@ -57,16 +98,36 @@ class FailureInjector:
 
     def loss_episode(self, probability: float, start_ms: float, duration_ms: float) -> None:
         """Raise the Bernoulli loss rate during a window, then restore it."""
-        previous = self.network.loss_probability
+        if self.env.lane_count == 1:
+            previous = self.network.loss_probability
 
-        def raise_loss() -> None:
-            self.network.loss_probability = probability
+            def raise_loss() -> None:
+                self.network.loss_probability = probability
 
-        def restore() -> None:
-            self.network.loss_probability = previous
+            def restore() -> None:
+                self.network.loss_probability = previous
 
-        self._at(start_ms, raise_loss, f"loss {probability} start")
-        self._at(start_ms + duration_ms, restore, "loss end")
+            self._at(start_ms, raise_loss, f"loss {probability} start")
+            self._at(start_ms + duration_ms, restore, "loss end")
+            return
+        # Per-lane overrides; the pre-episode value is captured at
+        # declaration time, exactly as the single-lane closure does.
+        previous_by_lane = {
+            lane: self.network._lane_loss.get(
+                lane, self.network.loss_probability
+            )
+            for lane in range(self.env.lane_count)
+        }
+        self._at_every_lane(
+            start_ms,
+            lambda lane: self.network.set_loss(probability, lane=lane),
+            f"loss {probability} start",
+        )
+        self._at_every_lane(
+            start_ms + duration_ms,
+            lambda lane: self.network.set_loss(previous_by_lane[lane], lane=lane),
+            "loss end",
+        )
 
     # ------------------------------------------------------------------
     # Partitions
@@ -74,10 +135,16 @@ class FailureInjector:
 
     def partition(self, dc_a: str, dc_b: str, start_ms: float, duration_ms: float) -> None:
         """Sever one inter-datacenter link for a window."""
-        self._at(start_ms, lambda: self.network.sever(dc_a, dc_b),
-                 f"partition {dc_a}|{dc_b} start")
-        self._at(start_ms + duration_ms, lambda: self.network.heal(dc_a, dc_b),
-                 f"partition {dc_a}|{dc_b} end")
+        self._at_every_lane(
+            start_ms,
+            lambda lane: self.network.sever(dc_a, dc_b, lane=lane),
+            f"partition {dc_a}|{dc_b} start",
+        )
+        self._at_every_lane(
+            start_ms + duration_ms,
+            lambda lane: self.network.heal(dc_a, dc_b, lane=lane),
+            f"partition {dc_a}|{dc_b} end",
+        )
 
     # ------------------------------------------------------------------
     # Client crashes
@@ -85,5 +152,10 @@ class FailureInjector:
 
     def kill_process_at(self, process: Process, when_ms: float,
                         reason: str = "injected crash") -> None:
-        """Kill a client process mid-flight (§4.1: commit may land anyway)."""
-        self._at(when_ms, lambda: process.kill(reason), f"kill {process.name}")
+        """Kill a client process mid-flight (§4.1: commit may land anyway).
+
+        Fires once, in the victim's own lane — a kill is a process-local
+        event, not network state.
+        """
+        self._at(when_ms, lambda: process.kill(reason),
+                 f"kill {process.name}", lane=process.lane)

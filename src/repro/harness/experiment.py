@@ -57,10 +57,19 @@ class ExperimentResult:
     metrics: RunMetrics
     per_instance: dict[str, RunMetrics] = field(default_factory=dict)
     outcomes: list[TransactionOutcome] = field(default_factory=list)
+    #: Sharded-kernel execution statistics (windows, per-lane utilization,
+    #: barrier stalls); ``None`` on the single-heap kernels.  Excluded from
+    #: ``metrics_digest`` — it describes the execution, not the result.
+    lane_profile: dict | None = None
 
 
-def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
-    """Execute one cell once with one seed."""
+def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[WorkloadDriver]]:
+    """Build one cell's world: cluster, preloaded data, started drivers.
+
+    A pure function of ``(spec, seed)`` — the sharded multiprocessing mode
+    rebuilds the identical world in every worker process from these two
+    values, so everything here must derive from them alone.
+    """
     cluster = Cluster(replace(spec.cluster, seed=seed))
     if spec.per_datacenter_instances:
         # On a sharded placement the per-DC instances fan out over the
@@ -82,12 +91,32 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
         driver.start()
     if spec.workload.queue_fraction > 0:
         cluster.start_queue_pumps()
-    cluster.run()
+    if not cluster.shard_map.single_lane:
+        # Conservative-lookahead input: the union of every actor's possible
+        # cross-lane traffic.  Group-pinned threads without 2PC contribute
+        # nothing, which is what lets big scaling runs decompose.
+        channels: set[tuple[int, int]] = set()
+        for driver in drivers:
+            channels |= driver.lane_channels()
+        if spec.workload.queue_fraction > 0:
+            for group in cluster.placement.groups:
+                channels |= cluster.shard_map.channels_for_pump(group)
+        cluster.restrict_lane_channels(channels)
+    return cluster, drivers
+
+
+def finish_run(
+    spec: ExperimentSpec, cluster: Cluster, drivers: "list[WorkloadDriver]",
+) -> ExperimentResult:
+    """Offline phase of one cell: finalize, verify invariants, aggregate."""
     # Merge every group's log for the aggregate statistics; group logs are
     # independent position sequences, so the merged view keys by
     # (group, position).
     group_logs = cluster.finalize_all()
-    outcomes = [outcome for driver in drivers for outcome in driver.result.outcomes]
+    # Bind each driver's result once: on pinned drivers ``result`` is a
+    # property that merges the per-thread outcome lists on every access.
+    results = [driver.result for driver in drivers]
+    outcomes = [outcome for result in results for outcome in result.outcomes]
     decisions = None
     if spec.check_invariants:
         # Also drains undelivered queue sends and verifies exactly-once
@@ -109,14 +138,36 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
         outcomes, protocol=spec.protocol, log=log, queue=queue
     )
     per_instance = {
-        driver.result.datacenter: RunMetrics.from_outcomes(
-            driver.result.outcomes, protocol=spec.protocol
+        result.datacenter: RunMetrics.from_outcomes(
+            result.outcomes, protocol=spec.protocol
         )
-        for driver in drivers
+        for result in results
     }
+    stats = cluster.lane_profile()
+    lane_profile = None
+    if stats is not None:
+        lane_profile = {
+            "windows": stats.windows,
+            "events": list(stats.events),
+            "barrier_stalls": list(stats.barrier_stalls),
+            "cross_messages": stats.cross_messages,
+            "utilization": stats.utilization(),
+        }
     return ExperimentResult(
-        spec=spec, metrics=metrics, per_instance=per_instance, outcomes=outcomes
+        spec=spec, metrics=metrics, per_instance=per_instance,
+        outcomes=outcomes, lane_profile=lane_profile,
     )
+
+
+def run_once(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
+    """Execute one cell once with one seed."""
+    if spec.cluster.engine == "sharded-mp":
+        from repro.harness.shardrun import run_once_sharded_mp
+
+        return run_once_sharded_mp(spec, seed)
+    cluster, drivers = prepare_run(spec, seed)
+    cluster.run()
+    return finish_run(spec, cluster, drivers)
 
 
 def aggregate_cell(spec: ExperimentSpec, runs: list[ExperimentResult]) -> ExperimentResult:
@@ -134,6 +185,7 @@ def aggregate_cell(spec: ExperimentSpec, runs: list[ExperimentResult]) -> Experi
     return ExperimentResult(
         spec=spec, metrics=merged, per_instance=per_instance,
         outcomes=list(runs[0].outcomes),
+        lane_profile=runs[0].lane_profile,
     )
 
 

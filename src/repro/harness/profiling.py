@@ -37,3 +37,29 @@ def run_profiled(
         profiler.disable()
         stats = pstats.Stats(profiler, stream=stream or sys.stdout)
         stats.sort_stats("cumulative").print_stats(top)
+
+
+def format_lane_profile(profile: dict) -> str:
+    """Render a sharded run's per-lane kernel statistics.
+
+    ``profile`` is :attr:`repro.harness.experiment.ExperimentResult.lane_profile`:
+    drain windows, per-lane processed events and barrier stalls, and the
+    cross-lane message count.  Utilization spread and stall counts are the
+    two dials lookahead tuning watches — an idle lane means a skewed shard
+    assignment, a stall-heavy lane means its horizon (the cross-lane latency
+    floor) keeps cutting its window short.
+    """
+    events = profile["events"]
+    stalls = profile["barrier_stalls"]
+    utilization = profile["utilization"]
+    lines = [
+        f"sharded kernel: {profile['windows']} window(s), "
+        f"{profile['cross_messages']} cross-lane message(s)",
+        f"{'lane':>6} {'events':>10} {'util':>6} {'stalls':>7}",
+    ]
+    for lane, (count, util, stall) in enumerate(
+        zip(events, utilization, stalls)
+    ):
+        label = "shared" if lane == 0 else f"{lane}"
+        lines.append(f"{label:>6} {count:>10} {util:>6.1%} {stall:>7}")
+    return "\n".join(lines)

@@ -1,0 +1,303 @@
+"""Sharded multiprocessing execution of one experiment cell.
+
+The in-process sharded kernel (:class:`repro.sim.core.ShardedSimulator`)
+proves the partitioned-lane execution model; this module buys wall-clock
+with it.  Every worker process rebuilds the *identical* world from
+``(spec, seed)`` — :func:`repro.harness.experiment.prepare_run` is a pure
+function of those two values — then executes only its assigned lanes.  The
+parent is the conservative-lookahead coordinator: each round it gathers
+every lane's next-event time, relaxes the null-message fixed point over the
+declared channel graph (the same computation the in-process kernel performs
+per window), scatters per-lane horizons plus routed cross-lane messages,
+and collects each worker's outbox.
+
+Two regimes fall out of one protocol:
+
+* **Lane-closed runs** (group-pinned threads, no 2PC/queue traffic): the
+  channel graph is empty, every horizon is infinite, and the whole run
+  completes in a single round per worker — embarrassing parallelism, no
+  mid-run communication.  This is what opens 64-group Figure-7 cells.
+* **General runs**: horizons advance by at least the network's cross-lane
+  latency floor per round; correct, but round-trip latency bounds the win.
+  The in-process sharded kernel is usually the better tool there.
+
+Results are field-identical to the single-process kernels: workers ship
+their lanes' store partitions, per-thread outcomes, pump confirmations, and
+network counters home, the parent installs them into its own (never-run)
+world, and the offline phase (finalize, §3 invariants, metrics) proceeds
+exactly as a serial run's would.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    finish_run,
+    prepare_run,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+    from repro.sim.core import ShardedSimulator
+
+#: Message shapes on the coordinator/worker pipes.
+#:   parent -> worker: ("step", inbox, horizons) | ("finish",)
+#:   worker -> parent: ("state", outbox, heads) | ("final", payload)
+#:                   | ("error", repr)
+
+
+def resolve_workers(n_lanes: int, requested: int | None) -> int:
+    """Worker-process count for one sharded-mp run.
+
+    The default is one worker per lane, capped by the CPU count.  An
+    *explicit* request is honored up to the lane count even when it
+    oversubscribes the machine — worker count is also a correctness dial
+    (the digest tests deliberately split lanes over more workers than this
+    container has cores to exercise the coordinator exchange) — but it
+    draws the same warning the ``--jobs`` clamp gives, so nobody thrashes
+    the scheduler unknowingly.
+    """
+    cpus = os.cpu_count() or 1
+    if requested is None:
+        return max(1, min(n_lanes, cpus))
+    if requested < 1:
+        raise ValueError(f"shard_workers must be >= 1, got {requested}")
+    workers = min(requested, n_lanes)
+    if workers > cpus:
+        import warnings
+
+        warnings.warn(
+            f"shard_workers={workers} oversubscribes {cpus} CPU(s); the "
+            "run stays correct but gains no further parallelism",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return workers
+
+
+def partition_lanes(n_lanes: int, workers: int) -> list[tuple[int, ...]]:
+    """Contiguous lane blocks, one per worker (worker 0 gets the shared lane)."""
+    workers = min(workers, n_lanes)
+    blocks: list[tuple[int, ...]] = []
+    start = 0
+    for index in range(workers):
+        size = n_lanes // workers + (1 if index < n_lanes % workers else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def _compute_horizons(
+    heads: dict[int, float],
+    inboxes: "list[list]",
+    preds: list[set[int]],
+    min_delay: float,
+) -> dict[int, float]:
+    """Per-round horizons from worker heads **and in-flight messages**.
+
+    Worker-reported heads alone understate a lane's earliest future event:
+    a message routed this round but not yet injected (it travels with the
+    *next* round's step command) is invisible to every worker, yet its
+    delivery both wakes its destination and lets that destination send
+    again ``min_delay`` later.  Folding each pending delivery time into its
+    destination's head before the fixed point keeps every other lane's
+    horizon below anything that delivery can cause — without it, a lane
+    whose only local event is a 2 s request deadline would be granted a 2 s
+    window while the reply is still in transit.
+    """
+    from repro.sim.core import conservative_horizons
+
+    n_lanes = len(preds)
+    effective = [heads.get(lane, float("inf")) for lane in range(n_lanes)]
+    for inbox in inboxes:
+        for entry in inbox:
+            when, _key_lane, _key_seq, dst_lane = entry[0], entry[1], entry[2], entry[3]
+            if when < effective[dst_lane]:
+                effective[dst_lane] = when
+    horizons = conservative_horizons(effective, preds, min_delay)
+    return dict(enumerate(horizons))
+
+
+def _worker_payload(cluster, drivers, owned: set[int]) -> dict[str, Any]:
+    """Everything a worker's lanes produced, in picklable form."""
+    sim: "ShardedSimulator" = cluster.env.sim
+    stores = {
+        key: store.dump_state()
+        for key, store in cluster.lane_stores.items()
+        if key[1] in owned
+    }
+    outcomes = []
+    for index, driver in enumerate(drivers):
+        lanes = driver.thread_lanes()
+        shipped = {
+            thread: results
+            for thread, results in driver.thread_outcomes().items()
+            if lanes.get(thread, 0) in owned
+        }
+        outcomes.append((index, shipped))
+    pumps = [
+        (index, pump.delivered, pump.max_depth)
+        for index, (_group, pump) in enumerate(cluster._pumps)
+        if pump.node.lane in owned
+    ]
+    return {
+        "stores": stores,
+        "outcomes": outcomes,
+        "pumps": pumps,
+        "net_stats": cluster.network.stats,
+        "processed": cluster.env.sim.processed_events,
+        "lane_events": sim.stats.events,
+        "lane_stalls": sim.stats.barrier_stalls,
+        "cross_messages": sim.stats.cross_messages,
+    }
+
+
+def _worker_main(conn: "Connection", spec: ExperimentSpec, seed: int,
+                 lanes: tuple[int, ...]) -> None:
+    """One worker: rebuild the world, drain owned lanes on command."""
+    try:
+        cluster, drivers = prepare_run(spec, seed)
+        sim: "ShardedSimulator" = cluster.env.sim
+        owned = set(lanes)
+        sim.restrict_lanes(owned)
+        network = cluster.network
+        while True:
+            command = conn.recv()
+            if command[0] == "finish":
+                conn.send(("final", _worker_payload(cluster, drivers, owned)))
+                return
+            _tag, inbox, horizons = command
+            for when, key_lane, key_seq, dst_lane, (msg, dst_name) in inbox:
+                network.inject_delivery(
+                    dst_lane, when, key_lane, key_seq, msg, dst_name
+                )
+            if horizons:
+                sim.run_window(horizons)
+            conn.send((
+                "state",
+                sim.drain_outbox(),
+                {lane: sim.lane_head(lane) for lane in lanes},
+            ))
+    except BaseException as exc:  # surface in the parent, don't hang it
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+        raise
+
+
+def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult:
+    """Execute one cell with the lanes fanned over worker processes.
+
+    Field-identical to ``engine="sharded"`` (and ``"global"``) at the same
+    ``shards`` — the workers merely execute the same lanes elsewhere.
+    """
+    from multiprocessing import get_context
+
+    cluster, drivers = prepare_run(spec, seed)
+    sim = cluster.env.sim
+    n_lanes = cluster.shard_map.n_lanes
+    if n_lanes == 1:
+        # Nothing to fan out; run inline.
+        cluster.run()
+        return finish_run(spec, cluster, drivers)
+    preds = [set(p) for p in sim.channel_preds]
+    min_delay = sim.min_cross_delay
+    workers = resolve_workers(
+        n_lanes, spec.cluster.shard_workers
+    )
+    blocks = partition_lanes(n_lanes, workers)
+    owner_of: dict[int, int] = {
+        lane: index for index, block in enumerate(blocks) for lane in block
+    }
+
+    ctx = get_context("spawn")
+    pipes = []
+    procs = []
+    try:
+        for block in blocks:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, spec, seed, block),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            procs.append(proc)
+
+        heads: dict[int, float] = {}
+        inboxes: list[list] = [[] for _ in blocks]
+        first_round = True
+        rounds = 0
+        while True:
+            if first_round:
+                # Probe round: empty horizons, workers just report heads.
+                horizons: dict[int, float] = {}
+                first_round = False
+            else:
+                horizons = _compute_horizons(heads, inboxes, preds, min_delay)
+                frontier = min(heads.values(), default=float("inf"))
+                pending = any(inboxes)
+                if frontier == float("inf") and not pending:
+                    break
+                rounds += 1  # an actual drain round, comparable to a window
+            for index, conn in enumerate(pipes):
+                block_horizons = {
+                    lane: horizons[lane]
+                    for lane in blocks[index]
+                    if lane in horizons
+                }
+                conn.send(("step", inboxes[index], block_horizons))
+                inboxes[index] = []
+            for index, conn in enumerate(pipes):
+                reply = conn.recv()
+                if reply[0] == "error":
+                    raise RuntimeError(
+                        f"sharded worker {index} failed: {reply[1]}"
+                    )
+                _tag, outbox, block_heads = reply
+                heads.update(block_heads)
+                for entry in outbox:
+                    dst_lane = entry[3]
+                    inboxes[owner_of[dst_lane]].append(entry)
+
+        sim.stats.windows += rounds
+        for index, conn in enumerate(pipes):
+            conn.send(("finish",))
+        for index, conn in enumerate(pipes):
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"sharded worker {index} failed: {reply[1]}")
+            payload = reply[1]
+            for key, state in payload["stores"].items():
+                cluster.lane_stores[key].load_state(state)
+            for driver_index, shipped in payload["outcomes"]:
+                drivers[driver_index].absorb_thread_outcomes(shipped)
+            for pump_index, delivered, max_depth in payload["pumps"]:
+                pump = cluster._pumps[pump_index][1]
+                pump.delivered = delivered
+                pump.max_depth = max_depth
+            cluster.network.stats.absorb(payload["net_stats"])
+            sim._processed_events += payload["processed"]
+            for lane, events in enumerate(payload["lane_events"]):
+                sim.stats.events[lane] += events
+            for lane, stalls in enumerate(payload["lane_stalls"]):
+                sim.stats.barrier_stalls[lane] += stalls
+            sim.stats.cross_messages += payload["cross_messages"]
+    finally:
+        for conn in pipes:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+    return finish_run(spec, cluster, drivers)

@@ -21,6 +21,17 @@ class LatencyModel:
         """One-way delay in milliseconds for a message src → dst."""
         raise NotImplementedError
 
+    def min_delay(self) -> float:
+        """A hard lower bound on :meth:`one_way_delay` over all pairs.
+
+        This floor is the conservative-lookahead window of the sharded
+        simulation kernel: no message can cross between event lanes faster
+        than it, so every lane may safely run that far beyond the other
+        lanes' clocks.  Models that cannot bound their delays must return
+        0.0, which confines them to the single-heap kernels.
+        """
+        return 0.0
+
 
 class ConstantLatency(LatencyModel):
     """The same fixed delay for every message.  Useful in unit tests."""
@@ -31,6 +42,9 @@ class ConstantLatency(LatencyModel):
         self.delay_ms = delay_ms
 
     def one_way_delay(self, src_dc: str, dst_dc: str, rng: random.Random) -> float:
+        return self.delay_ms
+
+    def min_delay(self) -> float:
         return self.delay_ms
 
 
@@ -90,3 +104,12 @@ class RttMatrixLatency(LatencyModel):
         if factor < floor:
             factor = floor
         return base * factor
+
+    def min_delay(self) -> float:
+        """Smallest possible one-way delay: the intra-datacenter half-RTT
+        (always the matrix minimum in practice, but the configured matrix is
+        consulted too) scaled by the jitter floor."""
+        smallest_rtt = min(self.rtt_ms.values(), default=self.intra_dc_rtt_ms)
+        smallest_rtt = min(smallest_rtt, self.intra_dc_rtt_ms)
+        factor = 1.0 if self.jitter == 0 else self._jitter_floor
+        return (smallest_rtt / 2.0) * factor

@@ -110,18 +110,38 @@ class Gather(Event):
 
 
 class Node:
-    """A named endpoint attached to a datacenter."""
+    """A named endpoint attached to a datacenter.
 
-    def __init__(self, env: "Environment", network: "Network", name: str, datacenter: str) -> None:
+    ``lane`` is the node's event-lane affinity on a lane-partitioned
+    deployment (an entity group's shard, or the shared lane 0); every event
+    a node's handlers schedule stays in its lane, and only network messages
+    cross lanes.  All per-node counters (request ids, learner identities)
+    are therefore lane-local, which the sharded kernel's determinism
+    argument relies on.
+    """
+
+    def __init__(self, env: "Environment", network: "Network", name: str,
+                 datacenter: str, lane: int = 0) -> None:
         self.env = env
         self.network = network
         self.name = name
         self.datacenter = datacenter
+        self.lane = lane
         self.down = False
         self._handlers: dict[str, Handler] = {}
         self._pending: dict[int, Gather] = {}
         self._request_ids = count(1)
+        self._learner_ids = count(1)
         network.register(self)
+
+    def next_learner_id(self) -> int:
+        """Monotone per-node id for catch-up proposer identities.
+
+        Node-local rather than process-global so two lanes constructing
+        learners concurrently draw independent sequences (a global counter's
+        values would depend on cross-lane interleaving).
+        """
+        return next(self._learner_ids)
 
     # ------------------------------------------------------------------
     # Handler registration

@@ -22,7 +22,6 @@ during its outage."
 
 from __future__ import annotations
 
-from itertools import count
 from typing import TYPE_CHECKING, Generator
 
 from repro.config import ProtocolConfig
@@ -33,12 +32,6 @@ from repro.paxos.proposer import SynodProposer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wal.entry import LogEntry
-
-
-#: Learner instances must have globally unique proposer identities: two
-#: catch-up attempts for the same position may re-propose *different*
-#: recovered values, and Paxos forbids two values under one ballot.
-_learner_ids = count(1)
 
 
 class Learner:
@@ -56,8 +49,13 @@ class Learner:
         self.services = list(services)
         self.config = config
         self.majority = len(self.services) // 2 + 1
+        # Learner instances need unique proposer identities (two catch-up
+        # attempts for one position may re-propose *different* recovered
+        # values, and Paxos forbids two values under one ballot).  The id is
+        # drawn from a per-node counter — node names are unique, so the
+        # identity is globally unique while staying lane-local.
         self._round = 0
-        self._identity = f"learner:{node.name}:{next(_learner_ids)}"
+        self._identity = f"learner:{node.name}:{node.next_learner_id()}"
 
     def _fresh_ballot(self, floor: Ballot | None = None) -> Ballot:
         self._round += 1

@@ -34,15 +34,38 @@ class Simulator:
     The simulator is intentionally dumb: it pops the next ``(time, seq,
     event)`` triple and asks the event to run its callbacks.  All protocol
     semantics live in the events and processes scheduled onto it.
+
+    This class is the single-lane kernel.  Multi-lane deployments (see
+    :class:`repro.sim.shard.ShardMap`) run on :class:`LanedSimulator` (one
+    heap, canonical ``(time, lane, lane_seq)`` ordering — the reference) or
+    :class:`ShardedSimulator` (per-lane heaps drained in conservative
+    lookahead windows — the parallel-DES kernel); both share this class's
+    public surface so protocol code never knows which kernel it runs on.
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_processed_events")
+
+    #: Lane API shared by every kernel.  The single-lane kernel is pinned to
+    #: lane 0 so lane-aware callers (network, cluster) need no branches.
+    n_lanes = 1
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processed_events = 0
+
+    @property
+    def current_lane(self) -> int:
+        """Lane of the event being processed (always 0 on this kernel)."""
+        return 0
+
+    def schedule_in_lane(self, event: "Event", delay: float, lane: int,
+                         transport: object = None) -> None:
+        """Lane-aware scheduling; the single-lane kernel accepts only lane 0."""
+        if lane != 0:
+            raise ValueError(f"single-lane simulator has no lane {lane}")
+        self.schedule(event, delay)
 
     # ------------------------------------------------------------------
     # Clock
@@ -127,3 +150,440 @@ class Simulator:
         finally:
             self._processed_events += processed
         self._now = until
+
+
+class LanedSimulator(Simulator):
+    """The reference kernel for lane-partitioned deployments.
+
+    One global heap, but entries are ordered by the **canonical merge key**
+    ``(time, scheduling lane, lane-local seq)`` instead of a global sequence
+    number.  The lane-local seq is assigned by the lane whose event performed
+    the scheduling action, so the key of every event is a pure function of
+    that lane's (deterministic) local history — never of how lanes happen to
+    interleave.  :class:`ShardedSimulator` assigns identical keys from its
+    per-lane heaps, which is what makes the two kernels produce field-
+    identical executions (``metrics_digest`` equality) by construction.
+
+    Events at equal times in *different* lanes may only interact through the
+    network, whose cross-lane delay is floored at ``min_cross_delay``; their
+    relative order is therefore semantically irrelevant, and the canonical
+    key just fixes one order so both kernels agree on bookkeeping.
+    """
+
+    __slots__ = ("_seqs", "_lane", "n_lanes")
+
+    def __init__(self, n_lanes: int) -> None:
+        super().__init__()
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        self.n_lanes = n_lanes
+        self._seqs = [0] * n_lanes
+        #: Lane of the event being processed; ``None`` outside the run loop
+        #: (setup code then schedules into the *target* lane's sequence).
+        self._lane: int | None = None
+
+    @property
+    def current_lane(self) -> int:
+        return 0 if self._lane is None else self._lane
+
+    def _key_lane(self, target: int) -> int:
+        """Lane whose counter stamps a scheduling action.
+
+        During processing that is the executing lane; at setup time (between
+        runs) it is the target lane, so pre-run spawns into lane L are
+        stamped by L in both kernels.
+        """
+        return target if self._lane is None else self._lane
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        lane = self.current_lane
+        self._seqs[lane] = seq = self._seqs[lane] + 1
+        heappush(self._queue, (self._now + delay, lane, seq, lane, event))
+
+    def schedule_in_lane(self, event: Event, delay: float, lane: int,
+                         transport: object = None) -> None:
+        """Schedule *event* to execute in *lane* (cross-lane deliveries).
+
+        The canonical key is stamped by the scheduling lane; the event runs
+        with ``current_lane == lane``.  ``transport`` is unused here — this
+        kernel shares one heap — but accepted for signature parity with the
+        sharded kernel.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        if not 0 <= lane < self.n_lanes:
+            raise ValueError(f"no lane {lane} (have {self.n_lanes})")
+        klane = self._key_lane(lane)
+        self._seqs[klane] = seq = self._seqs[klane] + 1
+        heappush(self._queue, (self._now + delay, klane, seq, lane, event))
+
+    def peek(self) -> float:
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationFinished("event queue is empty")
+        when, _klane, _seq, lane, event = heappop(self._queue)
+        self._now = when
+        self._lane = lane
+        self._processed_events += 1
+        try:
+            event._process()
+        finally:
+            self._lane = None
+
+    def run(self, until: float | None = None) -> None:
+        if until is not None and until < self._now:
+            raise ValueError(f"cannot run backwards: until={until} < now={self._now}")
+        queue = self._queue
+        processed = 0
+        try:
+            while queue and (until is None or queue[0][0] <= until):
+                when, _klane, _seq, lane, event = heappop(queue)
+                self._now = when
+                self._lane = lane
+                processed += 1
+                event._process()
+        finally:
+            self._lane = None
+            self._processed_events += processed
+        if until is not None:
+            self._now = until
+
+
+def conservative_horizons(
+    heads: "list[float]",
+    preds: "list[set[int]]",
+    min_delay: float,
+) -> "list[float]":
+    """Safe drain horizon per lane, from a snapshot of earliest events.
+
+    ``heads[g]`` must lower-bound lane *g*'s earliest possible future event
+    — its heap head, further lowered by any in-flight message already bound
+    for it (the mp coordinator folds its routed-but-not-yet-injected
+    messages in; the in-process kernel has none, its heaps are the whole
+    truth).  A lane's bound is not just that head: an empty (purely
+    reactive) lane wakes when a predecessor messages it, so the bounds are
+    relaxed transitively over the channel graph — ``bound[g] =
+    min(head[g], min over preds p of bound[p] + W)`` — the classic
+    null-message fixed point.  With W > 0 each relaxation pass shortens the
+    remaining slack by W, so the loop converges in at most the graph's
+    longest simple path (one pass for the complete graph).  The horizon of
+    lane *g* is then the earliest instant any predecessor could cause a new
+    event in it; draining strictly below it is safe.
+
+    Shared by :class:`ShardedSimulator` (per window) and the
+    multiprocessing coordinator in :mod:`repro.harness.shardrun` (per
+    round) — one copy of the lookahead math, one place to fix it.
+    """
+    n_lanes = len(preds)
+    bounds = list(heads)
+    changed = True
+    while changed:
+        changed = False
+        for lane in range(n_lanes):
+            for pred in preds[lane]:
+                relaxed = bounds[pred] + min_delay
+                if relaxed < bounds[lane]:
+                    bounds[lane] = relaxed
+                    changed = True
+    horizons = []
+    for lane in range(n_lanes):
+        horizon = float("inf")
+        for pred in preds[lane]:
+            bound = bounds[pred] + min_delay
+            if bound < horizon:
+                horizon = bound
+        horizons.append(horizon)
+    return horizons
+
+
+class LaneStats:
+    """Bookkeeping the sharded kernel exposes for ``--profile``.
+
+    ``windows`` counts drain rounds; ``barrier_stalls[lane]`` counts rounds
+    in which a lane had work pending but its conservative horizon admitted
+    none of it — the direct measure of lookahead pressure; ``events[lane]``
+    is per-lane processed events, whose spread is the utilization picture.
+    """
+
+    def __init__(self, n_lanes: int) -> None:
+        self.windows = 0
+        self.events = [0] * n_lanes
+        self.barrier_stalls = [0] * n_lanes
+        self.cross_messages = 0
+
+    def utilization(self) -> list[float]:
+        """Per-lane share of all processed events (0.0 when nothing ran)."""
+        total = sum(self.events)
+        if total == 0:
+            return [0.0] * len(self.events)
+        return [count / total for count in self.events]
+
+
+class ShardedSimulator(Simulator):
+    """Partitioned event lanes drained under conservative lookahead.
+
+    Each lane owns a heap keyed by the same canonical ``(time, scheduling
+    lane, lane seq)`` merge key as :class:`LanedSimulator`.  One drain round:
+
+    1. snapshot every lane's head time; the global frontier is the minimum;
+    2. give each lane the horizon ``min over predecessor lanes p of
+       (head(p) + min_cross_delay)`` — no predecessor can cause an event in
+       this lane earlier than that, because every cross-lane interaction is
+       a network message and the network's one-way delay is floored at
+       ``min_cross_delay`` (:meth:`repro.net.latency.LatencyModel.min_delay`);
+       lanes with no predecessors get an infinite horizon;
+    3. drain each lane strictly below its horizon; cross-lane sends land in
+       the destination heap (provably at or beyond its horizon) or, for
+       lanes owned by another worker process, in the outbox.
+
+    The predecessor relation defaults to the complete graph (always sound).
+    :meth:`restrict_channels` installs the deployment's actual communication
+    graph — e.g. group-pinned workload threads never message other lanes, so
+    every lane's horizon is infinite and the run decomposes outright, which
+    is what the multiprocessing mode exploits.  A send over an undeclared
+    channel raises rather than miscompute.
+    """
+
+    __slots__ = ("_heaps", "_seqs", "_lane", "n_lanes", "min_cross_delay",
+                 "_preds", "_owned", "_outbox", "stats", "_drained_through")
+
+    def __init__(self, n_lanes: int, min_cross_delay: float = float("inf")) -> None:
+        super().__init__()
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        self.n_lanes = n_lanes
+        self.min_cross_delay = min_cross_delay
+        self._heaps: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(n_lanes)
+        ]
+        self._seqs = [0] * n_lanes
+        self._lane: int | None = None
+        #: Incoming-channel sets: ``_preds[g]`` = lanes that may message g.
+        self._preds: list[set[int]] = [
+            set(range(n_lanes)) - {lane} for lane in range(n_lanes)
+        ]
+        #: Lanes this kernel instance executes (a worker process owns a
+        #: subset; the single-process kernel owns all of them).
+        self._owned: set[int] = set(range(n_lanes))
+        #: Cross-lane sends targeting non-owned lanes, for the coordinator:
+        #: ``(deliver_time, key_lane, key_seq, dst_lane, transport)``.
+        self._outbox: list[tuple[float, int, int, int, object]] = []
+        self.stats = LaneStats(n_lanes)
+        #: Per-lane safe frontier: everything strictly below has been
+        #: processed; cross-lane pushes below it would rewrite the past.
+        self._drained_through = [0.0] * n_lanes
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def current_lane(self) -> int:
+        return 0 if self._lane is None else self._lane
+
+    @property
+    def channel_preds(self) -> "list[set[int]]":
+        """Incoming-channel sets per lane (the mp coordinator reads these)."""
+        return [set(preds) for preds in self._preds]
+
+    def restrict_channels(self, channels: "set[tuple[int, int]]") -> None:
+        """Declare the only (src, dst) lane pairs messages may cross.
+
+        Must describe a superset of the traffic the run will generate; the
+        kernel raises on a send outside it.  Smaller graphs mean larger
+        horizons — an empty graph makes every lane fully independent.
+        """
+        preds: list[set[int]] = [set() for _ in range(self.n_lanes)]
+        for src, dst in channels:
+            if src == dst:
+                continue
+            if not (0 <= src < self.n_lanes and 0 <= dst < self.n_lanes):
+                raise ValueError(f"channel ({src}, {dst}) names unknown lanes")
+            preds[dst].add(src)
+        self._preds = preds
+        if any(self._preds) and self.min_cross_delay <= 0:
+            raise ValueError(
+                "conservative lookahead requires a positive cross-lane "
+                "latency floor (LatencyModel.min_delay() == 0); use the "
+                "laned/global kernel for zero-delay networks"
+            )
+
+    def restrict_lanes(self, owned: "set[int]") -> None:
+        """Execute only *owned* lanes (worker-process mode).
+
+        Sends into non-owned lanes accumulate in the outbox for the
+        coordinator; events pre-scheduled into non-owned lanes stay put.
+        """
+        unknown = owned - set(range(self.n_lanes))
+        if unknown:
+            raise ValueError(f"cannot own unknown lanes {sorted(unknown)}")
+        self._owned = set(owned)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        lane = self.current_lane
+        self._seqs[lane] = seq = self._seqs[lane] + 1
+        heappush(self._heaps[lane], (self._now + delay, lane, seq, event))
+
+    def schedule_in_lane(self, event: Event, delay: float, lane: int,
+                         transport: object = None) -> None:
+        """Schedule into *lane*; cross-lane calls must ride the network.
+
+        ``transport`` carries the picklable ``(message, dst node name)``
+        pair a cross-process send needs; it is ignored for owned lanes.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        if not 0 <= lane < self.n_lanes:
+            raise ValueError(f"no lane {lane} (have {self.n_lanes})")
+        if self._lane is None:
+            # Setup-time spawn into a target lane (drivers, pumps, injector
+            # replicas): stamped by the target lane in both kernels, heap
+            # placement unconditional — a worker process pre-schedules every
+            # lane's setup events and simply never drains non-owned lanes.
+            self._seqs[lane] = seq = self._seqs[lane] + 1
+            heappush(self._heaps[lane], (self._now + delay, lane, seq, event))
+            return
+        klane = self._lane
+        if klane != lane and klane not in self._preds[lane]:
+            raise RuntimeError(
+                f"lane isolation violated: lane {klane} sent into lane "
+                f"{lane} but the channel is not declared"
+            )
+        self._seqs[klane] = seq = self._seqs[klane] + 1
+        when = self._now + delay
+        if lane not in self._owned:
+            if transport is None:
+                raise RuntimeError(
+                    f"event for non-owned lane {lane} has no transport; only "
+                    "network deliveries may cross worker boundaries"
+                )
+            self._outbox.append((when, klane, seq, lane, transport))
+            self.stats.cross_messages += 1
+            return
+        if klane != lane:
+            if when < self._drained_through[lane]:
+                raise RuntimeError(
+                    f"cross-lane event at t={when} would land in lane "
+                    f"{lane}'s past (drained through "
+                    f"{self._drained_through[lane]}); lookahead violated"
+                )
+            self.stats.cross_messages += 1
+        heappush(self._heaps[lane], (when, klane, seq, event))
+
+    def push_external(self, lane: int, when: float, key_lane: int,
+                      key_seq: int, event: Event) -> None:
+        """Inject a coordinator-routed delivery with its original key."""
+        if when < self._drained_through[lane]:
+            raise RuntimeError(
+                f"injected event at t={when} is in lane {lane}'s past "
+                f"(drained through {self._drained_through[lane]})"
+            )
+        heappush(self._heaps[lane], (when, key_lane, key_seq, event))
+
+    def drain_outbox(self) -> list[tuple[float, int, int, int, object]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def peek(self) -> float:
+        return min(
+            (heap[0][0] for heap in self._heaps if heap), default=float("inf")
+        )
+
+    def lane_head(self, lane: int) -> float:
+        heap = self._heaps[lane]
+        return heap[0][0] if heap else float("inf")
+
+    def step(self) -> None:  # pragma: no cover - tests drive run()
+        raise NotImplementedError(
+            "ShardedSimulator drains whole lookahead windows; use run()"
+        )
+
+    def _horizons(self, heads: list[float]) -> list[float]:
+        """Per-window horizons (see :func:`conservative_horizons`)."""
+        return conservative_horizons(heads, self._preds, self.min_cross_delay)
+
+    def _drain_lane(self, lane: int, horizon: float, cap: float | None) -> int:
+        """Drain one lane strictly below *horizon* (and at or below *cap*)."""
+        heap = self._heaps[lane]
+        processed = 0
+        try:
+            while heap and heap[0][0] < horizon and (
+                cap is None or heap[0][0] <= cap
+            ):
+                when, _klane, _seq, event = heappop(heap)
+                self._now = when
+                self._lane = lane
+                processed += 1
+                event._process()
+        finally:
+            self._lane = None
+            self._processed_events += processed
+            self.stats.events[lane] += processed
+        self._drained_through[lane] = max(
+            self._drained_through[lane],
+            horizon if cap is None else min(horizon, cap),
+        )
+        return processed
+
+    def run(self, until: float | None = None) -> None:
+        if until is not None and until < self._now:
+            raise ValueError(f"cannot run backwards: until={until} < now={self._now}")
+        while True:
+            heads = [self.lane_head(lane) for lane in self._owned]
+            frontier = min(heads, default=float("inf"))
+            if frontier == float("inf"):
+                break
+            if until is not None and frontier > until:
+                break
+            all_heads = [self.lane_head(lane) for lane in range(self.n_lanes)]
+            horizons = self._horizons(all_heads)
+            self.stats.windows += 1
+            progressed = 0
+            for lane in sorted(self._owned):
+                had_work = bool(self._heaps[lane])
+                done = self._drain_lane(lane, horizons[lane], until)
+                progressed += done
+                if had_work and done == 0:
+                    self.stats.barrier_stalls[lane] += 1
+            if progressed == 0:
+                if self._owned != set(range(self.n_lanes)):
+                    break  # worker mode: blocked on non-owned lanes
+                raise RuntimeError(
+                    "sharded kernel made no progress: the channel graph "
+                    "admits no event below every horizon (is "
+                    "min_cross_delay positive?)"
+                )
+        if until is not None:
+            self._now = until
+
+    def run_window(self, horizons: "dict[int, float]",
+                   cap: float | None = None) -> int:
+        """Worker-process entry: drain owned lanes to coordinator horizons."""
+        processed = 0
+        self.stats.windows += 1
+        for lane in sorted(self._owned):
+            horizon = horizons.get(lane)
+            if horizon is None:
+                continue
+            had_work = bool(self._heaps[lane])
+            done = self._drain_lane(lane, horizon, cap)
+            processed += done
+            if had_work and done == 0:
+                self.stats.barrier_stalls[lane] += 1
+        return processed

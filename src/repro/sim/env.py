@@ -1,28 +1,55 @@
 """The :class:`Environment` facade tying the kernel pieces together.
 
-An ``Environment`` owns one :class:`~repro.sim.core.Simulator`, one
+An ``Environment`` owns one simulation kernel, one
 :class:`~repro.sim.rng.RngRegistry`, and provides the factory methods
 processes use: :meth:`timeout`, :meth:`event`, :meth:`process`,
 :meth:`any_of`, :meth:`all_of`.
+
+Single-lane environments (the default) run on the classic
+:class:`~repro.sim.core.Simulator`.  Lane-partitioned deployments pass
+``lanes > 1`` and pick a kernel: ``engine="global"`` is the reference
+:class:`~repro.sim.core.LanedSimulator`; ``engine="sharded"`` is the
+conservative-lookahead :class:`~repro.sim.core.ShardedSimulator`, which
+needs the network's cross-lane latency floor (``min_cross_delay``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Literal
 
-from repro.sim.core import Simulator
+from repro.sim.core import LanedSimulator, ShardedSimulator, Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
+
+#: Kernel selector for lane-partitioned environments.  ``"sharded-mp"`` is
+#: accepted as an alias of ``"sharded"`` — the multiprocessing orchestration
+#: lives in :mod:`repro.harness.shardrun`, and each of its workers (and the
+#: coordinating parent) runs an ordinary sharded kernel.
+EngineName = Literal["global", "sharded", "sharded-mp"]
 
 
 class Environment:
     """One simulated world: a clock, an event queue, and seeded randomness."""
 
-    def __init__(self, seed: int = 0) -> None:
-        self.sim = Simulator()
+    def __init__(
+        self,
+        seed: int = 0,
+        lanes: int = 1,
+        engine: EngineName = "global",
+        min_cross_delay: float = float("inf"),
+    ) -> None:
+        if lanes <= 1 and engine == "global":
+            self.sim: Simulator = Simulator()
+        elif engine == "global":
+            self.sim = LanedSimulator(lanes)
+        elif engine in ("sharded", "sharded-mp"):
+            self.sim = ShardedSimulator(lanes, min_cross_delay=min_cross_delay)
+        else:
+            raise ValueError(f"unknown simulation engine {engine!r}")
         self.rng = RngRegistry(seed)
         self.seed = seed
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Clock
@@ -32,6 +59,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self.sim.now
+
+    @property
+    def lane_count(self) -> int:
+        """Number of event lanes (1 outside sharded deployments)."""
+        return self.sim.n_lanes
 
     def run(self, until: float | None = None) -> None:
         """Advance the simulation (see :meth:`Simulator.run`)."""
@@ -45,13 +77,28 @@ class Environment:
         """A fresh, untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` ms from now with ``value``."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                lane: int | None = None) -> Timeout:
+        """An event that fires ``delay`` ms from now with ``value``.
 
-    def process(self, generator: Generator, name: str | None = None) -> Process:
-        """Spawn a process driving *generator*; returns the process event."""
-        return Process(self, generator, name=name)
+        ``lane`` pins the firing to a specific event lane (used by the
+        replicated fault injector); the default fires in the ambient lane.
+        """
+        if lane is None:
+            # Positional, branch-free construction: this is the hottest
+            # factory in the simulation (think times, deadlines, backoffs).
+            return Timeout(self, delay, value)
+        return Timeout(self, delay, value, lane)
+
+    def process(self, generator: Generator, name: str | None = None,
+                lane: int | None = None) -> Process:
+        """Spawn a process driving *generator*; returns the process event.
+
+        ``lane`` places the process in a specific event lane (workload
+        threads pinned to an entity group run in that group's lane); by
+        default it inherits the lane of the event being processed.
+        """
+        return Process(self, generator, name=name, lane=lane)
 
     def any_of(self, events: list[Event]) -> AnyOf:
         """Fires when any of *events* fires."""

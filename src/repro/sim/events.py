@@ -168,7 +168,8 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 lane: int | None = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         self.env = env
@@ -177,7 +178,10 @@ class Timeout(Event):
         self._value = value
         self._late_relay = None
         self.delay = delay
-        env.sim.schedule(self, delay)
+        if lane is None:
+            env.sim.schedule(self, delay)
+        else:  # pinned to a specific lane (replicated fault injector)
+            env.sim.schedule_in_lane(self, delay, lane)
         self._scheduled = True
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover

@@ -29,9 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """Drives a generator, resuming it each time a yielded event fires."""
 
-    __slots__ = ("name", "_generator", "_waiting_on", "_resume_cb")
+    __slots__ = ("name", "lane", "_generator", "_waiting_on", "_resume_cb")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str | None = None, lane: int | None = None) -> None:
         if not isinstance(generator, GeneratorType):
             raise TypeError(
                 f"Process requires a generator, got {type(generator).__name__}; "
@@ -39,6 +40,10 @@ class Process(Event):
             )
         super().__init__(env)
         self.name = name or getattr(generator, "__name__", "process")
+        #: Event lane this process started in (the fault injector kills a
+        #: process from its own lane).  Resumptions follow the events the
+        #: process waits on, which stay in this lane for lane-local work.
+        self.lane = env.sim.current_lane if lane is None else lane
         self._generator = generator
         self._waiting_on: Event | None = None
         # One bound method for the life of the process: re-binding
@@ -50,7 +55,10 @@ class Process(Event):
         bootstrap._ok = True
         bootstrap._value = None
         bootstrap.callbacks.append(self._resume)
-        env.sim.schedule(bootstrap)
+        if lane is None:
+            env.sim.schedule(bootstrap)
+        else:
+            env.sim.schedule_in_lane(bootstrap, 0.0, lane)
 
     @property
     def is_alive(self) -> bool:

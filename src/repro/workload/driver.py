@@ -115,7 +115,17 @@ class WorkloadDriver:
                 "ownership of the receiver group's positions"
             )
         self.multi_group = multi_group
-        self.result = InstanceResult(datacenter=self.datacenter)
+        #: ``"pinned"`` statically assigns each client thread one entity
+        #: group (round-robin over the placement) with its own RNG stream;
+        #: on a sharded deployment the thread then runs in its group's
+        #: event lane.
+        self.pinned = multi_group and workload.group_distribution == "pinned"
+        self._result = InstanceResult(datacenter=self.datacenter)
+        #: Per-thread outcome lists (pinned mode): threads in different
+        #: event lanes must not interleave appends into one list, or the
+        #: aggregate order (and its floating-point sums) would depend on
+        #: lane scheduling.  Merged in thread order by :attr:`result`.
+        self._thread_outcomes: dict[int, list[TransactionOutcome]] = {}
         self._generator = YcsbWorkload(
             workload,
             cluster.env.rng.stream(f"workload.{instance_id}"),
@@ -144,6 +154,75 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
 
     @property
+    def result(self) -> InstanceResult:
+        """This instance's outcomes (merged in thread order when pinned)."""
+        if not self.pinned:
+            return self._result
+        merged = InstanceResult(datacenter=self.datacenter)
+        for index in sorted(self._thread_outcomes):
+            merged.outcomes.extend(self._thread_outcomes[index])
+        return merged
+
+    def thread_outcomes(self) -> dict[int, list[TransactionOutcome]]:
+        """Per-thread outcome lists (worker processes ship these home)."""
+        if self.pinned:
+            return {i: list(o) for i, o in self._thread_outcomes.items()}
+        return {0: list(self._result.outcomes)}
+
+    def absorb_thread_outcomes(
+        self, outcomes: "dict[int, list[TransactionOutcome]]"
+    ) -> None:
+        """Install outcomes a worker process produced for our threads."""
+        if self.pinned:
+            for index, results in outcomes.items():
+                if results:
+                    self._thread_outcomes[index] = list(results)
+        else:
+            for results in outcomes.values():
+                if results:
+                    self._result.outcomes = list(results)
+
+    def thread_group(self, index: int) -> str:
+        """The entity group thread *index* is pinned to (pinned mode)."""
+        groups = self.cluster.placement.groups
+        return groups[index % len(groups)]
+
+    def thread_lanes(self) -> dict[int, int]:
+        """Event lane of each outcome bucket in :meth:`thread_outcomes`."""
+        if not self.pinned:
+            return {0: 0}
+        shard_map = self.cluster.shard_map
+        return {
+            index: shard_map.lane_of(self.thread_group(index))
+            for index in range(self.workload.n_threads)
+        }
+
+    def lane_channels(self) -> "set[tuple[int, int]]":
+        """Cross-lane channels this driver's clients can exercise.
+
+        The conservative-lookahead declaration for the sharded kernel: a
+        superset of the lane pairs this instance's traffic can cross.
+        Pinned threads without a 2PC slice reach only their own lane, so
+        the set is empty and the kernel may decompose the run.
+        """
+        shard_map = self.cluster.shard_map
+        if shard_map.single_lane:
+            return set()
+        cross = self.workload.cross_group_fraction > 0
+        channels: set[tuple[int, int]] = set()
+        if self.pinned and not cross:
+            return channels
+        if self.pinned:
+            for index in range(self.workload.n_threads):
+                lane = shard_map.lane_of(self.thread_group(index))
+                channels |= shard_map.channels_for_client(
+                    lane, self.groups, cross_group=True
+                )
+            return channels
+        reachable = self.groups if self.multi_group else (self.workload.group,)
+        return shard_map.channels_for_client(0, reachable, cross_group=cross)
+
+    @property
     def groups(self) -> tuple[str, ...]:
         """Every entity group this driver generates transactions for."""
         return self._generator.groups
@@ -157,18 +236,35 @@ class WorkloadDriver:
         """Spawn the client threads; call before ``cluster.run()``."""
         share = self.workload.n_transactions // self.workload.n_threads
         remainder = self.workload.n_transactions % self.workload.n_threads
+        shard_map = self.cluster.shard_map
         for index in range(self.workload.n_threads):
             budget = share + (1 if index < remainder else 0)
             if budget == 0:
                 continue
+            lane = 0
+            generator = self._generator
+            if self.pinned:
+                group = self.thread_group(index)
+                lane = shard_map.lane_of(group)
+                self._thread_outcomes.setdefault(index, [])
+                generator = YcsbWorkload(
+                    self.workload,
+                    self.cluster.env.rng.stream(
+                        f"workload.{self.instance_id}.{index}"
+                    ),
+                    placement=self.cluster.placement,
+                    fixed_group=group,
+                )
             client = self.cluster.add_client(
                 self.datacenter,
                 protocol=self.protocol,
                 name=f"cli:{self.datacenter}:{self.instance_id}:{index}",
+                lane=lane,
             )
             process = self.cluster.env.process(
-                self._thread(client, index, budget),
+                self._thread(client, index, budget, generator),
                 name=f"{self.instance_id}:thread{index}",
+                lane=lane if lane else None,
             )
             self._processes.append(process)
 
@@ -180,15 +276,21 @@ class WorkloadDriver:
     # The client loop
     # ------------------------------------------------------------------
 
-    def _thread(self, client: "TransactionClient", index: int, budget: int) -> Generator:
+    def _thread(self, client: "TransactionClient", index: int, budget: int,
+                generator: YcsbWorkload | None = None) -> Generator:
         env = self.cluster.env
+        generator = generator if generator is not None else self._generator
+        sink = (
+            self._thread_outcomes[index] if self.pinned
+            else self._result.outcomes
+        )
         rng = env.rng.stream(f"driver.{self.instance_id}.{index}")
         yield env.timeout(index * self.workload.stagger_ms)
         for _k in range(budget):
             slot_start = env.now
-            plan = self._generator.next_transaction_plan()
+            plan = generator.next_transaction_plan()
             outcome = yield from self._run_transaction(client, plan)
-            self.result.outcomes.append(outcome)
+            sink.append(outcome)
             # Rate cap: next arrival one (jittered) period after this slot
             # began; skip the wait entirely if we are already late.
             period = self.workload.mean_interarrival_ms

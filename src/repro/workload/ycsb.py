@@ -112,11 +112,18 @@ class YcsbWorkload:
         config: WorkloadConfig,
         rng: random.Random,
         placement: Placement | None = None,
+        fixed_group: str | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.placement = placement
         self.multi_group = placement is not None and placement.n_groups > 1
+        #: Pin every generated transaction's home group (the ``"pinned"``
+        #: group distribution: one generator per client thread, each owning
+        #: one group).  Cross-group and queue plans still span out from it.
+        self.fixed_group = fixed_group
+        if fixed_group is not None and not self.multi_group:
+            raise ValueError("fixed_group needs a multi-group placement")
         self._zipf = (
             ZipfianGenerator(config.n_attributes, config.zipfian_theta)
             if config.distribution == "zipfian"
@@ -193,6 +200,8 @@ class YcsbWorkload:
 
     def _pick_group(self) -> str:
         assert self.placement is not None
+        if self.fixed_group is not None:
+            return self.fixed_group
         if self._group_zipf is not None:
             return self.placement.group_name(self._group_zipf.next(self.rng))
         return self.placement.group_name(self.rng.randrange(self.placement.n_groups))

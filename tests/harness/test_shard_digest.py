@@ -1,0 +1,197 @@
+"""Digest equality: the sharded kernels against the global kernel.
+
+The sharded simulation's whole contract is *bit-identical execution*: for a
+fixed deployment layout (``shards``), every engine — the single-heap laned
+kernel, the conservative-lookahead sharded kernel, and its multiprocessing
+fan-out — must produce field-identical metrics, logs, and outcomes.  This
+module sweeps that contract over seeds × protocols (basic Paxos, Paxos-CP,
+2PC mixes, queue mixes) × fault injection × shard counts (1, 4, n_groups).
+
+Workloads are sized for CI; the full-scale equivalents run in the
+benchmarks (bench_groups_scaling --sharded64 asserts the same digests at 64
+groups).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
+from repro.cluster import Cluster
+from repro.failures.injector import FailureInjector
+from repro.harness.experiment import ExperimentSpec, run_once
+from repro.harness.metrics import RunMetrics
+from repro.harness.parallel import metrics_digest
+from repro.workload.driver import WorkloadDriver
+
+N_GROUPS = 6
+SHARD_COUNTS = (1, 4, N_GROUPS)
+
+
+def base_spec(engine: str, shards: int, **workload) -> ExperimentSpec:
+    defaults = dict(
+        n_transactions=36, n_rows=N_GROUPS, n_threads=4,
+        target_rate_per_thread=4.0,
+    )
+    defaults.update(workload)
+    return ExperimentSpec(
+        name="digest-cell",
+        cluster=ClusterConfig(
+            placement=PlacementConfig.ranged(N_GROUPS),
+            shards=shards,
+            engine=engine,  # type: ignore[arg-type]
+        ),
+        workload=WorkloadConfig(**defaults),
+        protocol="paxos-cp",
+    )
+
+
+def fingerprint(cluster: Cluster, driver: WorkloadDriver) -> str:
+    """A stable digest of everything a run decided.
+
+    Outcomes (through ``RunMetrics``, every field), the finalized per-group
+    logs entry by entry, and the resolved 2PC decision map.
+    """
+    outcomes = driver.result.outcomes
+    logs = cluster.finalize_all()
+    decisions = cluster.check_invariants_all(outcomes, logs=logs)
+    metrics = RunMetrics.from_outcomes(outcomes, protocol="x")
+    payload = [repr(metrics), repr(sorted(decisions.items()))]
+    for group in sorted(logs):
+        for position in sorted(logs[group]):
+            payload.append(f"{group}@{position}:{logs[group][position]!r}")
+    return hashlib.sha256("\n".join(payload).encode()).hexdigest()
+
+
+def run_world(engine: str, shards: int, seed: int, protocol: str,
+              cross: float = 0.0, queue: float = 0.0,
+              faults: bool = False) -> str:
+    cluster = Cluster(ClusterConfig(
+        placement=PlacementConfig.ranged(N_GROUPS),
+        shards=shards,
+        engine=engine,  # type: ignore[arg-type]
+        seed=seed,
+    ))
+    driver = WorkloadDriver(
+        cluster,
+        WorkloadConfig(
+            n_transactions=30, n_rows=N_GROUPS, n_threads=3,
+            target_rate_per_thread=4.0,
+            cross_group_fraction=cross, queue_fraction=queue,
+        ),
+        protocol,  # type: ignore[arg-type]
+        datacenter=cluster.topology.names[0],
+    )
+    driver.install_data()
+    driver.start()
+    if queue > 0:
+        cluster.start_queue_pumps()
+    if faults:
+        injector = FailureInjector(cluster)
+        injector.outage(cluster.topology.names[1], 400.0, 900.0)
+        injector.partition(cluster.topology.names[0],
+                           cluster.topology.names[2], 1500.0, 700.0)
+        injector.loss_episode(0.05, 2500.0, 600.0)
+    cluster.run()
+    return fingerprint(cluster, driver)
+
+
+class TestEngineDigestEquality:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", (0, 11))
+    @pytest.mark.parametrize("scenario", (
+        ("paxos", dict()),
+        ("paxos-cp", dict(cross=0.25)),
+        ("paxos-cp", dict(queue=0.25)),
+    ), ids=("basic", "2pc", "queues"))
+    def test_global_vs_sharded(self, shards, seed, scenario):
+        protocol, extra = scenario
+        a = run_world("global", shards, seed, protocol, **extra)
+        b = run_world("sharded", shards, seed, protocol, **extra)
+        assert a == b
+
+    @pytest.mark.parametrize("shards", (1, 4))
+    def test_fault_injection_digest(self, shards):
+        a = run_world("global", shards, 5, "paxos", faults=True)
+        b = run_world("sharded", shards, 5, "paxos", faults=True)
+        assert a == b
+
+    def test_fault_injection_with_queue_traffic(self):
+        a = run_world("global", N_GROUPS, 9, "paxos-cp", queue=0.3, faults=True)
+        b = run_world("sharded", N_GROUPS, 9, "paxos-cp", queue=0.3, faults=True)
+        assert a == b
+
+
+class TestRunOnceEngines:
+    """run_once-level equality, including the channel-restricted paths."""
+
+    @pytest.mark.parametrize("dist", ("uniform", "pinned"))
+    def test_sharded_matches_global(self, dist):
+        a = run_once(base_spec("global", 4, group_distribution=dist), seed=2)
+        b = run_once(base_spec("sharded", 4, group_distribution=dist), seed=2)
+        assert metrics_digest([a]) == metrics_digest([b])
+
+    def test_pinned_run_decomposes(self):
+        result = run_once(base_spec("sharded", N_GROUPS,
+                                    group_distribution="pinned"), seed=2)
+        profile = result.lane_profile
+        assert profile is not None
+        # No cross-lane traffic and a single drain window: the lane-closed
+        # regime the multiprocessing mode exploits.
+        assert profile["cross_messages"] == 0
+        assert profile["windows"] == 1
+
+    def test_sharded_mp_matches_inprocess(self):
+        spec = base_spec("sharded", 4, group_distribution="pinned",
+                         n_transactions=24)
+        mp_spec = replace(
+            spec, cluster=replace(spec.cluster, engine="sharded-mp"),
+        )
+        a = run_once(spec, seed=4)
+        b = run_once(mp_spec, seed=4)
+        assert metrics_digest([a]) == metrics_digest([b])
+
+    def test_sharded_mp_windowed_traffic_matches(self):
+        """Roaming clients force the coordinator's windowed message rounds."""
+        spec = base_spec("sharded", 4, n_transactions=12)
+        mp_spec = replace(
+            spec, cluster=replace(spec.cluster, engine="sharded-mp"),
+        )
+        a = run_once(spec, seed=6)
+        b = run_once(mp_spec, seed=6)
+        assert metrics_digest([a]) == metrics_digest([b])
+
+    def test_sharded_mp_multi_worker_windowed_matches(self):
+        """Cross-worker exchange: lanes split over several workers.
+
+        Regression test for the coordinator's horizon computation ignoring
+        in-flight messages: with more than one worker, a reply routed
+        through the coordinator used to arrive below the destination lane's
+        already-drained frontier and crash.  ``shard_workers`` deliberately
+        exceeds this machine's CPU count — worker count is a correctness
+        dial here, not a performance one.
+        """
+        spec = base_spec("global", 4, n_transactions=12)
+        mp_spec = replace(
+            spec,
+            cluster=replace(spec.cluster, engine="sharded-mp",
+                            shard_workers=3),
+        )
+        a = run_once(spec, seed=6)
+        b = run_once(mp_spec, seed=6)
+        assert metrics_digest([a]) == metrics_digest([b])
+
+    def test_sharded_mp_multi_worker_2pc_matches(self):
+        spec = base_spec("global", 4, n_transactions=12,
+                         cross_group_fraction=0.3, n_threads=3)
+        mp_spec = replace(
+            spec,
+            cluster=replace(spec.cluster, engine="sharded-mp",
+                            shard_workers=5),
+        )
+        a = run_once(spec, seed=8)
+        b = run_once(mp_spec, seed=8)
+        assert metrics_digest([a]) == metrics_digest([b])
