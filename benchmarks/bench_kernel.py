@@ -233,6 +233,49 @@ def record_baseline(metrics: dict[str, float], scale: str) -> None:
     print(f"baseline recorded ({scale}): {BASELINE_PATH}")
 
 
+def check_sharded_record(baseline: dict | None) -> list[str]:
+    """Gate the committed ``groups_scaling_64`` record; [] when clean.
+
+    The record's wall-clocks are a property of the machine that ran
+    ``bench_groups_scaling --sharded64 --record-baseline`` — above all of
+    its core count, which decides whether the shard workers actually ran in
+    parallel.  Comparing a 1-CPU container's record against an 8-core
+    expectation (or vice versa) is a mis-gate, so when the recording core
+    count differs from this machine's the gate *skips with a message*
+    instead of failing.  When the core counts match and cover the shard
+    count, the record must show the ≥2x end-to-end speedup the sharded
+    decomposition exists for; digest equality must hold on any machine.
+    """
+    import os
+
+    record = (baseline or {}).get("groups_scaling_64")
+    if record is None:
+        return []
+    failures = []
+    if not record.get("digest_equal", False):
+        failures.append(
+            "groups_scaling_64: committed record has digest_equal=false — "
+            "the sharded kernel diverged when it was recorded"
+        )
+    cpus = os.cpu_count() or 1
+    recorded_cpus = record.get("cpus")
+    if recorded_cpus != cpus:
+        print(
+            f"skipping groups_scaling_64 speedup gate: baseline was "
+            f"recorded on {recorded_cpus} CPU(s), this machine has {cpus} "
+            f"(re-record with bench_groups_scaling.py --sharded64 "
+            f"--record-baseline to gate here)",
+            file=sys.stderr,
+        )
+        return failures
+    if cpus >= record.get("shards", 8) and record.get("speedup", 0.0) < 2.0:
+        failures.append(
+            f"groups_scaling_64: recorded speedup {record.get('speedup')}x "
+            f"is below the 2x acceptance bar on {cpus} matching core(s)"
+        )
+    return failures
+
+
 def check_regression(metrics: dict[str, float], baseline: dict | None,
                      scale: str, tolerance: float) -> int:
     """0 when within tolerance of the baseline, 1 on an events/sec drop."""
@@ -242,7 +285,7 @@ def check_regression(metrics: dict[str, float], baseline: dict | None,
               f"--record{' --smoke' if scale == 'smoke' else ''} first",
               file=sys.stderr)
         return 1
-    failures = []
+    failures = check_sharded_record(baseline)
     for name, value in metrics.items():
         recorded = recorded_metrics.get(name)
         if not recorded:

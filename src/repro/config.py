@@ -129,6 +129,11 @@ class ProtocolConfig:
         Safety valve for prepare/accept retry loops so that a pathological
         schedule cannot loop forever; generous enough never to bind in the
         paper's workloads.
+    queue_poll_ms:
+        Poll interval of the asynchronous-queue delivery pumps.  The paper
+        only requires *eventual* delivery; a longer interval trades delivery
+        lag for fewer pump wake-ups (and, on the sharded kernel, wider
+        promise-stretched windows between polls).
     """
 
     timeout_ms: float = 2000.0
@@ -140,6 +145,7 @@ class ProtocolConfig:
     combine_exhaustive_limit: int = 4
     leader_fastpath: bool = True
     max_commit_attempts: int = 50
+    queue_poll_ms: float = 25.0
 
     def without_cp(self) -> "ProtocolConfig":
         """This config with both CP enhancements off (plain Paxos behaviour)."""
@@ -204,6 +210,17 @@ class ClusterConfig:
     #: Worker processes for ``engine="sharded-mp"`` (None: one per group
     #: lane, capped by the CPU count).
     shard_workers: int | None = None
+    #: Adaptive lookahead promises on the sharded kernels: workload threads
+    #: and queue pumps advertise when they will next send cross-lane, which
+    #: stretches conservative windows far past the raw latency floor.  The
+    #: harness arms them (:meth:`repro.cluster.Cluster.enable_promises`)
+    #: whenever this is True and the run's senders are all promise-aware;
+    #: results are bit-identical either way — this is purely a speed dial.
+    promises: bool = True
+    #: Run the per-group invariant checks inside the sharded-mp workers
+    #: (parallel with each other) instead of serially on the coordinator.
+    #: Verdicts are field-identical to the serial checker's.
+    parallel_check: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:

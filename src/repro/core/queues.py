@@ -357,6 +357,28 @@ class QueueDeliveryPump:
         self.max_depth = 0
         #: When each pending message was first observed (backlog tracking).
         self._observed_ms: dict[tuple[str, int], float] = {}
+        #: Adaptive-lookahead out slot (see :meth:`arm_out_promises`).
+        self._promise_book = None
+
+    def arm_out_promises(self, book, channels: "set[tuple[int, int]]") -> None:
+        """Register this pump's out slot in the kernel's promise book.
+
+        The pump only self-initiates traffic from inside a scan, and scans
+        are separated by poll sleeps, so between them the slot promises
+        "nothing before the next wake"; a pump that stops (idle exit)
+        leaves ``inf``.  Registration happens before the pump process first
+        runs, with the no-claim floor, so there is no gap in coverage; a
+        pump the injector kills mid-sleep simply leaves its last floor
+        behind, which is sound because a dead pump sends nothing.
+        """
+        if not book.enabled:
+            return
+        self._promise_book = book
+        lane = self.node.lane
+        book.register(
+            ("pump", self.node.name), lane,
+            tuple(ch for ch in channels if ch[0] == lane),
+        )
 
     # ------------------------------------------------------------------
     # The pump loop
@@ -371,10 +393,17 @@ class QueueDeliveryPump:
         delivery *stalls* in the report.
         """
         idle = 0
+        slot = ("pump", self.node.name)
         while idle < idle_stop_after:
             delivered = yield from self.deliver_pending()
             idle = 0 if delivered else idle + 1
+            book = self._promise_book
+            if book is not None:
+                # Asleep until the next poll: promise the quiet stretch.
+                book.set(slot, self.env.now + poll_ms)
             yield self.env.timeout(poll_ms)
+        if self._promise_book is not None:
+            self._promise_book.set(slot, float("inf"))
 
     def deliver_pending(self) -> Generator:
         """One scan: deliver every undelivered send visible locally.
@@ -519,18 +548,25 @@ class QueueDeliveryPump:
             position = max(position, self._receiver_heads.get(receiver, 0) + 1)
         services = self._services_for(receiver)
         identity = f"{queue_apply_tid(self.sender_group, receiver, seqno)}:{self.node.name}"
-        for _attempt in range(self.MAX_APPEND_ATTEMPTS):
+        attempts = 0
+        while attempts < self.MAX_APPEND_ATTEMPTS:
             proposer = SynodProposer(
                 self.node, receiver, position, services, self.config
             )
             ballot = Ballot(1, identity)
             prepare = yield from proposer.prepare(ballot)
             if prepare.chosen is not None:
+                # Remember every position observed occupied, not just the
+                # one our entry finally lands in: a busy receiver log would
+                # otherwise be re-walked from the same stale head on every
+                # poll (and each re-walked position would burn an attempt),
+                # which is a prepare-storm that can starve delivery outright.
+                self._receiver_heads[receiver] = position
                 if prepare.chosen.queue_key == value.queue_key:
-                    self._receiver_heads[receiver] = position
                     return True
                 position += 1
                 continue
+            attempts += 1
             if prepare.successes < proposer.majority:
                 yield self.env.timeout(
                     self._rng.uniform(0.0, self.config.retry_backoff_ms)
@@ -540,8 +576,8 @@ class QueueDeliveryPump:
             accept = yield from proposer.accept(ballot, winner)
             if accept.successes >= proposer.majority:
                 proposer.apply(ballot, winner)
+                self._receiver_heads[receiver] = position
                 if winner.queue_key == value.queue_key:
-                    self._receiver_heads[receiver] = position
                     return True
                 position += 1
                 continue

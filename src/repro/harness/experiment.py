@@ -102,17 +102,30 @@ def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[Workload
             for group in cluster.placement.groups:
                 channels |= cluster.shard_map.channels_for_pump(group)
         cluster.restrict_lane_channels(channels)
+        # Adaptive lookahead: the drivers, pumps and nodes all exist now,
+        # so the coverability analysis sees the final population.  Being
+        # part of prepare_run, every mp worker arms the identical book.
+        cluster.enable_promises(drivers)
     return cluster, drivers
 
 
 def finish_run(
     spec: ExperimentSpec, cluster: Cluster, drivers: "list[WorkloadDriver]",
+    group_logs: dict | None = None, group_checker=None,
 ) -> ExperimentResult:
-    """Offline phase of one cell: finalize, verify invariants, aggregate."""
+    """Offline phase of one cell: finalize, verify invariants, aggregate.
+
+    ``group_logs`` lets the sharded multiprocessing path hand over logs the
+    workers already finalized in parallel (each worker finalizes its owned
+    lanes' groups); ``group_checker`` likewise fans the per-group invariant
+    suites out to the workers (see
+    :meth:`repro.cluster.Cluster.check_invariants_all`).
+    """
     # Merge every group's log for the aggregate statistics; group logs are
     # independent position sequences, so the merged view keys by
     # (group, position).
-    group_logs = cluster.finalize_all()
+    if group_logs is None:
+        group_logs = cluster.finalize_all()
     # Bind each driver's result once: on pinned drivers ``result`` is a
     # property that merges the per-thread outcome lists on every access.
     results = [driver.result for driver in drivers]
@@ -122,7 +135,9 @@ def finish_run(
         # Also drains undelivered queue sends and verifies exactly-once
         # delivery, mutating group_logs with the drained applies; returns
         # the resolved 2PC decision map for reuse below.
-        decisions = cluster.check_invariants_all(outcomes, logs=group_logs)
+        decisions = cluster.check_invariants_all(
+            outcomes, logs=group_logs, group_checker=group_checker,
+        )
     queue = None
     if spec.workload.queue_fraction > 0:
         queue = cluster.queue_stats(
@@ -152,6 +167,9 @@ def finish_run(
             "barrier_stalls": list(stats.barrier_stalls),
             "cross_messages": stats.cross_messages,
             "utilization": stats.utilization(),
+            "window_span_hist": dict(stats.window_span_hist),
+            "promise_windows": stats.promise_windows,
+            "stalls_avoided": stats.stalls_avoided,
         }
     return ExperimentResult(
         spec=spec, metrics=metrics, per_instance=per_instance,

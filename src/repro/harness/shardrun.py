@@ -46,9 +46,38 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import ShardedSimulator
 
 #: Message shapes on the coordinator/worker pipes.
-#:   parent -> worker: ("step", inbox, horizons) | ("finish",)
-#:   worker -> parent: ("state", outbox, heads) | ("final", payload)
-#:                   | ("error", repr)
+#:   parent -> worker: ("step", inbox, horizons) | ("finalize",)
+#:                   | ("check", packet) | ("finish",)
+#:   worker -> parent: ("state", outbox, heads, promises) | ("final", payload)
+#:                   | ("checked", {group: violations}) | ("error", repr)
+#:
+#: ``finalize`` ends the run phase: the worker finalizes its owned lanes'
+#: group logs (the per-replica Paxos rescan, parallelized for free) and
+#: ships its full payload — including those logs — but stays alive.  The
+#: coordinator then runs the global resolution phase (2PC recovery, queue
+#: drain, group-disjointness) and, with ``parallel_check`` on, sends each
+#: worker a ``check`` packet: the decision map plus, per owned group, the
+#: offline-drained entries to replay and the group's outcomes.  The worker
+#: answers with each group's violation list (usually empty) and the
+#: coordinator raises the first failing group in sorted order — the exact
+#: strings the serial path would have raised.  ``finish`` just releases the
+#: worker.
+#:
+#: ``promises`` is the worker book's ``(out_floors, pending)`` snapshot
+#: (or ``None`` when the adaptive-lookahead layer is off).  Each worker's
+#: book was restricted to slots homed on — and requests issued from — its
+#: owned lanes, so the per-channel state is partitioned across workers and
+#: the coordinator's fold is a disjoint union (min on the impossible
+#: overlap, the conservative combiner).  Staleness is sound by promise
+#: inheritance: every advertised out floor permanently lower-bounds its
+#: slot's subsequent sends, and an actor spawned *after* a snapshot (a 2PC
+#: decision-marker process) first acts at or after the time its spawner's
+#: own floor licensed, so the snapshot's channel floor bounds the spawnee's
+#: sends too.  Pending entries only ever lower a reply floor below the
+#: chained value, so a stale entry (reply since delivered) is conservative;
+#: a *missing* entry cannot be anti-conservative because requests sent
+#: after the snapshot are themselves bounded by the fixed point's chain
+#: through the request channel's floor.
 
 
 def resolve_workers(n_lanes: int, requested: int | None) -> int:
@@ -92,13 +121,13 @@ def partition_lanes(n_lanes: int, workers: int) -> list[tuple[int, ...]]:
     return blocks
 
 
-def _compute_horizons(
+def _effective_heads(
     heads: dict[int, float],
     inboxes: "list[list]",
-    preds: list[set[int]],
-    min_delay: float,
-) -> dict[int, float]:
-    """Per-round horizons from worker heads **and in-flight messages**.
+    n_lanes: int,
+) -> list[float]:
+    """Per-lane earliest-event bounds from worker heads **and in-flight
+    messages**.
 
     Worker-reported heads alone understate a lane's earliest future event:
     a message routed this round but not yet injected (it travels with the
@@ -110,15 +139,25 @@ def _compute_horizons(
     whose only local event is a 2 s request deadline would be granted a 2 s
     window while the reply is still in transit.
     """
-    from repro.sim.core import conservative_horizons
-
-    n_lanes = len(preds)
     effective = [heads.get(lane, float("inf")) for lane in range(n_lanes)]
     for inbox in inboxes:
         for entry in inbox:
-            when, _key_lane, _key_seq, dst_lane = entry[0], entry[1], entry[2], entry[3]
+            when, dst_lane = entry[0], entry[3]
             if when < effective[dst_lane]:
                 effective[dst_lane] = when
+    return effective
+
+
+def _compute_horizons(
+    heads: dict[int, float],
+    inboxes: "list[list]",
+    preds: list[set[int]],
+    min_delay: float,
+) -> dict[int, float]:
+    """Per-round horizons without the adaptive-lookahead layer."""
+    from repro.sim.core import conservative_horizons
+
+    effective = _effective_heads(heads, inboxes, len(preds))
     horizons = conservative_horizons(effective, preds, min_delay)
     return dict(enumerate(horizons))
 
@@ -154,7 +193,53 @@ def _worker_payload(cluster, drivers, owned: set[int]) -> dict[str, Any]:
         "lane_events": sim.stats.events,
         "lane_stalls": sim.stats.barrier_stalls,
         "cross_messages": sim.stats.cross_messages,
+        "window_span_hist": dict(sim.stats.window_span_hist),
     }
+
+
+def _mp_group_checker(cluster, pipes, blocks):
+    """A ``group_checker`` that fans the per-group suites out to workers.
+
+    Each worker already holds its lanes' finalized replica state — the
+    expensive inputs (stores, logs) never cross a process boundary; only
+    the decision map, the offline-drained entries, and the groups' outcome
+    lists ship out, and per-group violation strings ship back.  Violations
+    are raised in sorted-group order, matching the serial loop exactly.
+    """
+    from repro.core.queues import DRAIN_ORIGIN
+    from repro.wal.invariants import InvariantViolation
+
+    lane_of = cluster.shard_map.lane_of
+    owner = {lane: index for index, block in enumerate(blocks) for lane in block}
+
+    def checker(by_group, logs, decisions, strict_timeouts):
+        packets: "list[dict]" = [
+            {"decisions": decisions, "strict": strict_timeouts, "groups": {}}
+            for _ in blocks
+        ]
+        for group, group_outcomes in by_group.items():
+            drained = {
+                position: entry
+                for position, entry in logs.get(group, {}).items()
+                if entry.transactions
+                and entry.transactions[0].origin == DRAIN_ORIGIN
+            }
+            packets[owner[lane_of(group)]]["groups"][group] = (
+                drained, group_outcomes,
+            )
+        for conn, packet in zip(pipes, packets):
+            conn.send(("check", packet))
+        results: dict[str, list[str]] = {}
+        for index, conn in enumerate(pipes):
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"sharded worker {index} failed: {reply[1]}")
+            results.update(reply[1])
+        for group in sorted(results):
+            if results[group]:
+                raise InvariantViolation(results[group])
+
+    return checker
 
 
 def _worker_main(conn: "Connection", spec: ExperimentSpec, seed: int,
@@ -169,8 +254,39 @@ def _worker_main(conn: "Connection", spec: ExperimentSpec, seed: int,
         while True:
             command = conn.recv()
             if command[0] == "finish":
-                conn.send(("final", _worker_payload(cluster, drivers, owned)))
                 return
+            if command[0] == "finalize":
+                # Finalize before dumping: the store snapshots must carry
+                # the chosen marks the rescan records, so the coordinator's
+                # world state matches a serially-finalized one.
+                logs = {
+                    group: cluster.finalize(group)
+                    for group in cluster.groups
+                    if cluster.shard_map.lane_of(group) in owned
+                }
+                payload = _worker_payload(cluster, drivers, owned)
+                payload["logs"] = logs
+                conn.send(("final", payload))
+                continue
+            if command[0] == "check":
+                packet = command[1]
+                decisions = packet["decisions"]
+                results: dict[str, list[str]] = {}
+                for group in sorted(packet["groups"]):
+                    drained, group_outcomes = packet["groups"][group]
+                    # Replay the coordinator's offline queue drain so this
+                    # group's replicas (and its MVSG replay) see the same
+                    # completed log the serial checker would.
+                    for position, entry in sorted(drained.items()):
+                        for dc in cluster.topology.names:
+                            cluster.service_for(dc, group).replica(
+                                group
+                            ).record_chosen(position, entry)
+                    results[group] = cluster.group_violations(
+                        group, group_outcomes, packet["strict"], decisions
+                    )
+                conn.send(("checked", results))
+                continue
             _tag, inbox, horizons = command
             for when, key_lane, key_seq, dst_lane, (msg, dst_name) in inbox:
                 network.inject_delivery(
@@ -178,10 +294,13 @@ def _worker_main(conn: "Connection", spec: ExperimentSpec, seed: int,
                 )
             if horizons:
                 sim.run_window(horizons)
+            book = sim.promises
             conn.send((
                 "state",
                 sim.drain_outbox(),
                 {lane: sim.lane_head(lane) for lane in lanes},
+                (dict(book._floors), dict(book._pending_min))
+                if book.enabled else None,
             ))
     except BaseException as exc:  # surface in the parent, don't hang it
         try:
@@ -231,6 +350,20 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
             pipes.append(parent_conn)
             procs.append(proc)
 
+        # Adaptive-lookahead state: the coordinator mirrors the in-process
+        # kernel's per-window promise fold.  The covered set is topology
+        # (identical in every process); the dynamic floors/pending arrive
+        # with each worker's state reply, partitioned by lane ownership.
+        solver = None
+        covered = sim.promises._coverable if sim.promises.enabled else None
+        if covered:
+            from repro.sim.core import HorizonSolver, conservative_horizons
+
+            solver = HorizonSolver(
+                preds, min_delay, sim.lookahead, frozenset(covered)
+            )
+        views: list[tuple[dict, dict] | None] = [None] * len(blocks)
+
         heads: dict[int, float] = {}
         inboxes: list[list] = [[] for _ in blocks]
         first_round = True
@@ -241,11 +374,43 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
                 horizons: dict[int, float] = {}
                 first_round = False
             else:
-                horizons = _compute_horizons(heads, inboxes, preds, min_delay)
                 frontier = min(heads.values(), default=float("inf"))
                 pending = any(inboxes)
                 if frontier == float("inf") and not pending:
                     break
+                if solver is None:
+                    horizons = _compute_horizons(
+                        heads, inboxes, preds, min_delay
+                    )
+                else:
+                    effective = _effective_heads(heads, inboxes, n_lanes)
+                    floors: dict = {}
+                    sends: dict = {}
+                    for view in views:
+                        if view is None:
+                            continue
+                        for channel, floor in view[0].items():
+                            held = floors.get(channel)
+                            if held is None or floor < held:
+                                floors[channel] = floor
+                        for channel, sent in view[1].items():
+                            held = sends.get(channel)
+                            if held is None or sent < held:
+                                sends[channel] = sent
+                    promised = solver.solve(effective, floors, sends)
+                    base = conservative_horizons(
+                        effective, preds, min_delay
+                    )
+                    if promised != base:
+                        sim.stats.promise_windows += 1
+                        # Same reading as the in-process kernel: the lane's
+                        # head event runs this round (head < horizon) though
+                        # the head-only horizon admitted nothing.
+                        for lane in range(n_lanes):
+                            if (base[lane] <= effective[lane]
+                                    < promised[lane]):
+                                sim.stats.stalls_avoided += 1
+                    horizons = dict(enumerate(promised))
                 rounds += 1  # an actual drain round, comparable to a window
             for index, conn in enumerate(pipes):
                 block_horizons = {
@@ -261,20 +426,24 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
                     raise RuntimeError(
                         f"sharded worker {index} failed: {reply[1]}"
                     )
-                _tag, outbox, block_heads = reply
+                _tag, outbox, block_heads, view = reply
                 heads.update(block_heads)
+                if view is not None:
+                    views[index] = view
                 for entry in outbox:
                     dst_lane = entry[3]
                     inboxes[owner_of[dst_lane]].append(entry)
 
         sim.stats.windows += rounds
         for index, conn in enumerate(pipes):
-            conn.send(("finish",))
+            conn.send(("finalize",))
+        group_logs: dict = {}
         for index, conn in enumerate(pipes):
             reply = conn.recv()
             if reply[0] == "error":
                 raise RuntimeError(f"sharded worker {index} failed: {reply[1]}")
             payload = reply[1]
+            group_logs.update(payload["logs"])
             for key, state in payload["stores"].items():
                 cluster.lane_stores[key].load_state(state)
             for driver_index, shipped in payload["outcomes"]:
@@ -290,8 +459,25 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
             for lane, stalls in enumerate(payload["lane_stalls"]):
                 sim.stats.barrier_stalls[lane] += stalls
             sim.stats.cross_messages += payload["cross_messages"]
+            for bucket, count in payload["window_span_hist"].items():
+                sim.stats.window_span_hist[bucket] = (
+                    sim.stats.window_span_hist.get(bucket, 0) + count
+                )
+        group_checker = None
+        if spec.check_invariants and spec.cluster.parallel_check:
+            group_checker = _mp_group_checker(cluster, pipes, blocks)
+        # Inside the try: the checker talks to the workers, which the
+        # finally below releases whether the checks pass or raise.
+        return finish_run(
+            spec, cluster, drivers,
+            group_logs=group_logs, group_checker=group_checker,
+        )
     finally:
         for conn in pipes:
+            try:
+                conn.send(("finish",))
+            except Exception:
+                pass
             try:
                 conn.close()
             except Exception:
@@ -300,4 +486,3 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
-    return finish_run(spec, cluster, drivers)

@@ -32,6 +32,17 @@ class LatencyModel:
         """
         return 0.0
 
+    def min_delay_between(self, src_dc: str, dst_dc: str) -> float:
+        """A hard lower bound on :meth:`one_way_delay` for one dc pair.
+
+        The sharded kernel uses these pairwise floors to give each lane
+        pair its own lookahead: two lanes whose closest datacenters sit an
+        ocean apart get a window tens of milliseconds wide even though the
+        global :meth:`min_delay` (intra-dc) floor is under a millisecond.
+        Must never exceed any delay the model can draw for the pair.
+        """
+        return self.min_delay()
+
 
 class ConstantLatency(LatencyModel):
     """The same fixed delay for every message.  Useful in unit tests."""
@@ -113,3 +124,7 @@ class RttMatrixLatency(LatencyModel):
         smallest_rtt = min(smallest_rtt, self.intra_dc_rtt_ms)
         factor = 1.0 if self.jitter == 0 else self._jitter_floor
         return (smallest_rtt / 2.0) * factor
+
+    def min_delay_between(self, src_dc: str, dst_dc: str) -> float:
+        factor = 1.0 if self.jitter == 0 else self._jitter_floor
+        return (self.base_rtt(src_dc, dst_dc) / 2.0) * factor

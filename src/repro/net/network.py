@@ -154,6 +154,11 @@ class Network:
                 f"environment has {self.env.lane_count} lane(s)"
             )
         self._nodes[node.name] = node
+        # A node joining an armed deployment (e.g. a restarted queue pump)
+        # must track its reply expectations from its first request on.
+        book = getattr(self.env.sim, "promises", None)
+        if book is not None and book.enabled:
+            node.arm_promises(book)
 
     def node(self, name: str) -> "Node":
         try:

@@ -14,6 +14,7 @@ groups).
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from dataclasses import replace
 
@@ -68,12 +69,21 @@ def fingerprint(cluster: Cluster, driver: WorkloadDriver) -> str:
 
 def run_world(engine: str, shards: int, seed: int, protocol: str,
               cross: float = 0.0, queue: float = 0.0,
-              faults: bool = False) -> str:
+              faults: bool = False, adaptive: bool = False,
+              promises: bool = True) -> str:
+    """One bare-``Cluster`` run, fingerprinted.
+
+    ``adaptive=True`` mirrors what ``prepare_run`` does for sharded
+    engines: restrict the kernel to the workload's channel graph (the
+    per-lane-pair lookahead matrix) and arm the promise book; ``promises``
+    then toggles the dynamic-promise layer on top of the static matrix.
+    """
     cluster = Cluster(ClusterConfig(
         placement=PlacementConfig.ranged(N_GROUPS),
         shards=shards,
         engine=engine,  # type: ignore[arg-type]
         seed=seed,
+        promises=promises,
     ))
     driver = WorkloadDriver(
         cluster,
@@ -95,6 +105,13 @@ def run_world(engine: str, shards: int, seed: int, protocol: str,
         injector.partition(cluster.topology.names[0],
                            cluster.topology.names[2], 1500.0, 700.0)
         injector.loss_episode(0.05, 2500.0, 600.0)
+    if adaptive and not cluster.shard_map.single_lane:
+        channels = set(driver.lane_channels())
+        if queue > 0:
+            for group in cluster.placement.groups:
+                channels |= cluster.shard_map.channels_for_pump(group)
+        cluster.restrict_lane_channels(channels)
+        cluster.enable_promises([driver])
     cluster.run()
     return fingerprint(cluster, driver)
 
@@ -123,6 +140,55 @@ class TestEngineDigestEquality:
         a = run_world("global", N_GROUPS, 9, "paxos-cp", queue=0.3, faults=True)
         b = run_world("sharded", N_GROUPS, 9, "paxos-cp", queue=0.3, faults=True)
         assert a == b
+
+
+@functools.lru_cache(maxsize=None)
+def global_fingerprint(seed: int, protocol: str, cross: float = 0.0,
+                       queue: float = 0.0, faults: bool = False) -> str:
+    """The reference digest, computed once per scenario.
+
+    The global kernel ignores the lookahead matrix and the promise book,
+    so one reference run serves every (adaptive, promises) row.
+    """
+    return run_world("global", N_GROUPS, seed, protocol,
+                     cross=cross, queue=queue, faults=faults)
+
+
+class TestAdaptiveLookaheadDigest:
+    """Seeds × protocols × faults × promises on/off against the reference.
+
+    The hard correctness bar for the adaptive-lookahead layer: with the
+    per-lane-pair matrix restricted to the workload's channel graph and
+    dynamic promises armed (or disarmed — the static matrix alone must
+    also be sound), the sharded kernel's execution stays byte-identical to
+    the global kernel's.  Any unsound horizon widens a window past a real
+    cross-lane message and either trips the promise-enforcement oracle or
+    shifts an event order — both of which this digest comparison catches.
+    """
+
+    @pytest.mark.parametrize("promises", (True, False),
+                             ids=("promises", "matrix-only"))
+    @pytest.mark.parametrize("seed", (3, 17))
+    @pytest.mark.parametrize("scenario", (
+        ("paxos", dict()),
+        ("paxos-cp", dict(cross=0.25)),
+        ("paxos-cp", dict(queue=0.25)),
+        ("paxos-cp", dict(cross=0.2, queue=0.2)),
+    ), ids=("basic", "2pc", "queues", "chatty"))
+    def test_adaptive_vs_global(self, promises, seed, scenario):
+        protocol, extra = scenario
+        reference = global_fingerprint(seed, protocol, **extra)
+        adaptive = run_world("sharded", N_GROUPS, seed, protocol,
+                             adaptive=True, promises=promises, **extra)
+        assert adaptive == reference
+
+    @pytest.mark.parametrize("promises", (True, False),
+                             ids=("promises", "matrix-only"))
+    def test_adaptive_fault_injection(self, promises):
+        reference = global_fingerprint(5, "paxos-cp", cross=0.2, faults=True)
+        adaptive = run_world("sharded", N_GROUPS, 5, "paxos-cp", cross=0.2,
+                             faults=True, adaptive=True, promises=promises)
+        assert adaptive == reference
 
 
 class TestRunOnceEngines:

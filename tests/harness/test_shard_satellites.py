@@ -176,3 +176,33 @@ class TestLaneProfileFormatting:
         assert "3 window(s)" in text
         assert "7 cross-lane message(s)" in text
         assert "shared" in text
+        # No lookahead counters, no histogram section.
+        assert "lookahead" not in text
+
+    def test_format_lookahead_histogram(self):
+        from repro.sim.core import SPAN_UNBOUNDED
+
+        text = format_lane_profile({
+            "windows": 8,
+            "events": [10, 90],
+            "barrier_stalls": [1, 0],
+            "cross_messages": 7,
+            "utilization": [0.1, 0.9],
+            "window_span_hist": {-3: 5, 4: 2, SPAN_UNBOUNDED: 1},
+            "promise_windows": 6,
+            "stalls_avoided": 11,
+        })
+        assert "6/8 promise-stretched window(s) (75.0%)" in text
+        assert "11 barrier stall(s) avoided" in text
+        assert "[0.125, 0.25)" in text
+        assert "[16, 32)" in text
+        assert "unbounded" in text
+
+    def test_span_bucket_labels(self):
+        from repro.harness.profiling import span_bucket_label
+        from repro.sim.core import SPAN_UNBOUNDED, span_bucket
+
+        assert span_bucket_label(span_bucket(float("inf"))) == "unbounded"
+        assert span_bucket_label(span_bucket(24.0)) == "[16, 32)"
+        assert span_bucket_label(span_bucket(0.15)) == "[0.125, 0.25)"
+        assert SPAN_UNBOUNDED == span_bucket(float("inf"))

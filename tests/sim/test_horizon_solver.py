@@ -1,0 +1,102 @@
+"""Randomized equivalence: ``HorizonSolver`` vs the reference fixed point.
+
+The label-setting solver exists purely as a faster evaluator of the system
+:func:`repro.sim.core.conservative_horizons` defines — same greatest fixed
+point, same float arithmetic.  Rather than trusting the shortest-path
+argument, this module fuzzes randomized channel graphs with promise state
+(out floors, pending requests, infinite heads, covered channels with no
+sources) and requires *exact* equality against the Kleene-iterated
+reference, including reuse of one precomputed solver across many label
+sets (the per-window call pattern).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.core import HorizonSolver, conservative_horizons
+
+
+def random_graph(rng: random.Random):
+    """A random channel graph plus its static lookahead inputs."""
+    n = rng.randint(2, 10)
+    edges: set[tuple[int, int]] = set()
+    for _ in range(rng.randint(n, 3 * n)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    preds: list[set[int]] = [set() for _ in range(n)]
+    for a, b in edges:
+        preds[b].add(a)
+    min_delay = rng.choice((0.125, 0.5, 1.0))
+    # A partial matrix: missing pairs fall back to min_delay, like the
+    # cluster's RTT-derived matrix (which only records pairs above the
+    # floor).  Power-of-two multiples keep the float sums exactly
+    # representable, so reference-vs-solver comparison can demand ==.
+    lookahead = {
+        edge: min_delay * rng.randint(1, 16)
+        for edge in edges if rng.random() < 0.5
+    }
+    # Coverability is a per-channel property; leaving some channels
+    # uncovered exercises the mixed static/dynamic fixed point.
+    covered = frozenset(edge for edge in edges if rng.random() < 0.7)
+    return preds, min_delay, lookahead, covered, edges
+
+
+def random_labels(rng: random.Random, n: int, covered, edges):
+    """One window's dynamic inputs: heads, out floors, pending requests."""
+    heads = [
+        float("inf") if rng.random() < 0.25 else rng.uniform(0.0, 50.0)
+        for _ in range(n)
+    ]
+    # A covered channel without an out entry is the interesting case: the
+    # coverability certificate says it carries replies only, so its floor
+    # must chain through the reverse channel (or stay inf — "nobody can
+    # ever send here", the greatest-fixed-point reading).
+    out = {
+        edge: rng.uniform(0.0, 100.0)
+        for edge in covered if rng.random() < 0.8
+    }
+    pending = {
+        edge: rng.uniform(0.0, 50.0)
+        for edge in edges if rng.random() < 0.3
+    }
+    return heads, out, pending
+
+
+class TestHorizonSolverEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solver_matches_reference(self, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(50):
+            preds, min_delay, lookahead, covered, edges = random_graph(rng)
+            solver = HorizonSolver(preds, min_delay, lookahead, covered)
+            # One precomputed solver, many label sets — the per-window call
+            # pattern of ShardedSimulator and the mp coordinator.
+            for _window in range(3):
+                heads, out, pending = random_labels(
+                    rng, len(preds), covered, edges)
+                reference = conservative_horizons(
+                    heads, preds, min_delay, lookahead,
+                    (covered, out, pending),
+                )
+                assert solver.solve(heads, out, pending) == reference
+
+    def test_empty_graph(self):
+        solver = HorizonSolver([set(), set()], 1.0, None, frozenset())
+        assert solver.solve([3.0, 7.0], {}, {}) == [float("inf")] * 2
+
+    def test_uncovered_matches_matrix_only_reference(self):
+        """With no covered channels the solver must equal the plain
+        per-pair-matrix fixed point (promises add nothing)."""
+        rng = random.Random(42)
+        for _ in range(50):
+            preds, min_delay, lookahead, _covered, edges = random_graph(rng)
+            solver = HorizonSolver(preds, min_delay, lookahead, frozenset())
+            heads, _out, _pending = random_labels(
+                rng, len(preds), frozenset(), edges)
+            reference = conservative_horizons(
+                heads, preds, min_delay, lookahead)
+            assert solver.solve(heads, {}, {}) == reference
