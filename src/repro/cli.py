@@ -109,6 +109,31 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the per-position leader optimization")
     parser.add_argument("--max-promotions", type=int, default=None,
                         help="cap Paxos-CP promotions (default: unlimited)")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="open-loop traffic: logical users arrive on "
+                             "their own schedule over a bounded client pool "
+                             "(replaces --transactions/--threads/--rate)")
+    parser.add_argument("--arrival", default="poisson",
+                        choices=["poisson", "diurnal", "flash"],
+                        help="open-loop arrival process (default poisson)")
+    parser.add_argument("--users", type=int, default=1_000_000,
+                        help="logical-user population (sampled, not "
+                             "instantiated; default 1M)")
+    parser.add_argument("--offered-load", type=float, default=64.0,
+                        help="open-loop arrivals/second across the pool")
+    parser.add_argument("--pool", type=int, default=16,
+                        help="simulated client nodes serving the arrivals")
+    parser.add_argument("--max-pending", type=int, default=4,
+                        help="per-client admission bound; arrivals beyond "
+                             "it are dropped (default 4)")
+    parser.add_argument("--duration-ms", type=float, default=10_000.0,
+                        help="open-loop admission horizon in sim ms")
+    parser.add_argument("--hot-shift-ms", type=float, default=0.0,
+                        help="migrate the zipfian hot spot every N sim ms "
+                             "(0 = static hot spot)")
+    parser.add_argument("--aggregate-only", action="store_true",
+                        help="retain no per-transaction outcomes: streaming "
+                             "histograms only (disables invariant checking)")
 
 
 def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
@@ -150,12 +175,35 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             "error: --cross-group-fraction is incompatible with "
             "--protocol leased-leader (2PC prepares go through Paxos)"
         )
+    if args.open_loop:
+        if args.per_dc:
+            raise SystemExit(
+                "error: --open-loop drives one pooled instance; --per-dc is "
+                "not supported"
+            )
+        if args.shards > 1:
+            raise SystemExit(
+                "error: --open-loop needs --shards 1 (pooled clients roam "
+                "groups, which lane pinning cannot express)"
+            )
+        if args.cross_group_fraction > 0 or args.queue_fraction > 0:
+            raise SystemExit(
+                "error: --open-loop is incompatible with "
+                "--cross-group-fraction / --queue-fraction"
+            )
+    if args.aggregate_only and getattr(args, "command", None) == "check":
+        raise SystemExit(
+            "error: --aggregate-only retains no outcomes, so the check "
+            "subcommand's invariant suite has nothing to verify"
+        )
     # Range assignment over the numbered row space guarantees every group
     # owns at least one row.
     placement = PlacementConfig.ranged(n_groups, key_universe=n_rows)
     name = f"{args.cluster}/{args.protocol}"
     if n_groups > 1:
         name += f"/{n_groups}g"
+    if args.open_loop:
+        name += f"/open-{args.arrival}"
     return ExperimentSpec(
         name=name,
         cluster=ClusterConfig(
@@ -181,9 +229,19 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             cross_group_fraction=args.cross_group_fraction,
             cross_group_span=args.cross_group_span,
             queue_fraction=args.queue_fraction,
+            open_loop=args.open_loop,
+            arrival=args.arrival,
+            n_users=args.users,
+            offered_load=args.offered_load,
+            pool_size=args.pool,
+            max_pending=args.max_pending,
+            open_duration_ms=args.duration_ms,
+            hot_shift_period_ms=args.hot_shift_ms,
         ),
         protocol=args.protocol,
         per_datacenter_instances=args.per_dc,
+        retain_outcomes=not args.aggregate_only,
+        check_invariants=not args.aggregate_only,
     )
 
 
@@ -205,6 +263,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_cell(spec, trials=args.trials, base_seed=args.seed,
                       jobs=args.jobs)
     print(format_cells([result]))
+    if result.metrics.open_loop is not None:
+        from repro.harness.report import format_open_loop
+
+        print()
+        print(format_open_loop([result], title="open loop"))
     if args.profile and result.lane_profile is not None:
         from repro.harness.profiling import format_lane_profile
 

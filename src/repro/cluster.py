@@ -223,6 +223,27 @@ class Cluster:
             lane=lane,
         )
 
+    def client_pool(
+        self,
+        datacenter: str,
+        protocol: ProtocolName = "paxos",
+        size: int = 16,
+        prefix: str = "pool",
+    ) -> "list[TransactionClient]":
+        """*size* client nodes in *datacenter* with deterministic names.
+
+        The open-loop engine multiplexes millions of logical users over
+        such a pool — the pool, not the user population, bounds the number
+        of live simulation processes.
+        """
+        return [
+            self.add_client(
+                datacenter, protocol=protocol,
+                name=f"cli:{datacenter}:{prefix}:{index}",
+            )
+            for index in range(size)
+        ]
+
     # ------------------------------------------------------------------
     # Execution helpers
     # ------------------------------------------------------------------

@@ -282,6 +282,30 @@ class WorkloadConfig:
     #: after the cross-group draw, so the effective share of the whole mix
     #: is ``queue_fraction * (1 - cross_group_fraction)``.
     queue_fraction: float = 0.0
+    #: --- Open-loop traffic engine (``repro.workload.openloop``) ---
+    #: ``True`` replaces the closed client loop with an open-loop arrival
+    #: process: logical users arrive on their own schedule and a bounded
+    #: pool of client nodes serves them, dropping arrivals that find the
+    #: pool's pending queues full.  ``n_transactions``/``n_threads``/
+    #: ``target_rate_per_thread`` are ignored in this mode; the knobs below
+    #: take over.
+    open_loop: bool = False
+    arrival: Literal["poisson", "diurnal", "flash"] = "poisson"
+    #: Logical-user population; memory stays O(pool), users are sampled.
+    n_users: int = 1_000_000
+    offered_load: float = 64.0           # arrivals per second across the pool
+    pool_size: int = 16                  # simulated client nodes
+    max_pending: int = 4                 # per-client admission-control bound
+    open_duration_ms: float = 10_000.0   # admission horizon
+    user_zipfian_theta: float = 0.99     # skew of user popularity
+    #: >0 migrates the zipfian hot spot every this-many ms (hot-group
+    #: migration for the future rebalancer); 0 keeps it static.
+    hot_shift_period_ms: float = 0.0
+    diurnal_period_ms: float = 8_000.0   # one full diurnal cycle
+    diurnal_trough_fraction: float = 0.25  # trough rate as a share of mean
+    flash_at_ms: float = 3_000.0
+    flash_duration_ms: float = 1_000.0
+    flash_multiplier: float = 8.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
@@ -306,6 +330,36 @@ class WorkloadConfig:
             raise ValueError("need at least one client thread")
         if self.target_rate_per_thread <= 0:
             raise ValueError("target rate must be positive")
+        if self.open_loop:
+            if self.n_users <= 0 or self.pool_size <= 0 or self.max_pending <= 0:
+                raise ValueError(
+                    "open-loop n_users, pool_size and max_pending must be positive"
+                )
+            if self.offered_load <= 0 or self.open_duration_ms <= 0:
+                raise ValueError(
+                    "open-loop offered_load and open_duration_ms must be positive"
+                )
+            if not 0.0 < self.user_zipfian_theta < 1.0:
+                raise ValueError(
+                    f"user_zipfian_theta must be in (0,1), got {self.user_zipfian_theta}"
+                )
+            if self.hot_shift_period_ms < 0:
+                raise ValueError("hot_shift_period_ms must be >= 0")
+            if self.diurnal_period_ms <= 0 or not 0.0 < self.diurnal_trough_fraction <= 1.0:
+                raise ValueError(
+                    "diurnal_period_ms must be positive and "
+                    "diurnal_trough_fraction in (0,1]"
+                )
+            if self.flash_multiplier < 1.0 or self.flash_duration_ms <= 0:
+                raise ValueError(
+                    "flash_multiplier must be >= 1 and flash_duration_ms positive"
+                )
+            if self.cross_group_fraction > 0 or self.queue_fraction > 0:
+                raise ValueError(
+                    "open-loop mode does not support cross_group_fraction or "
+                    "queue_fraction yet; the pooled clients pin each "
+                    "transaction to its user's home group"
+                )
 
     @property
     def mean_interarrival_ms(self) -> float:

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig, ProtocolName, WorkloadConfig
-from repro.harness.metrics import RunMetrics, aggregate_metrics
+from repro.harness.metrics import OutcomeAggregate, RunMetrics, aggregate_metrics
 from repro.model import TransactionOutcome
 from repro.workload.driver import WorkloadDriver
 
@@ -43,6 +43,11 @@ class ExperimentSpec:
     #: A queue send counts as *stalled* when committed but unapplied past
     #: this lag (the report surfaces stalls as their own condition).
     queue_stall_threshold_ms: float = 1000.0
+    #: ``False`` switches the drivers to aggregate-only mode: no
+    #: per-transaction outcome lists, metrics built from streaming
+    #: histograms (O(buckets) memory).  Incompatible with
+    #: ``check_invariants`` — the invariant suite reads the outcomes.
+    retain_outcomes: bool = True
 
     def scaled(self, n_transactions: int) -> "ExperimentSpec":
         """The same cell with a smaller transaction budget (for CI runs)."""
@@ -70,14 +75,37 @@ def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[Workload
     rebuilds the identical world in every worker process from these two
     values, so everything here must derive from them alone.
     """
+    if not spec.retain_outcomes and spec.check_invariants:
+        raise ValueError(
+            "retain_outcomes=False discards the per-transaction outcomes "
+            "the invariant suite reads; set check_invariants=False for "
+            "aggregate-only runs"
+        )
     cluster = Cluster(replace(spec.cluster, seed=seed))
-    if spec.per_datacenter_instances:
+    if spec.workload.open_loop:
+        if spec.per_datacenter_instances:
+            raise ValueError(
+                "open-loop mode drives one pooled instance; "
+                "per_datacenter_instances is not supported"
+            )
+        from repro.workload.openloop import OpenLoopDriver
+
+        datacenter = spec.client_datacenter
+        if datacenter is None:
+            virginia = [dc for dc in cluster.topology.names if dc.startswith("V")]
+            datacenter = virginia[0] if virginia else cluster.topology.names[0]
+        drivers = [OpenLoopDriver(
+            cluster, spec.workload, spec.protocol, datacenter=datacenter,
+            retain_outcomes=spec.retain_outcomes,
+        )]
+    elif spec.per_datacenter_instances:
         # On a sharded placement the per-DC instances fan out over the
         # groups; on the classic single-group deployment they share the one
         # entity group (the Figure-8 experiment).
         drivers = WorkloadDriver.per_datacenter(
             cluster, spec.workload, spec.protocol,
             shared_group=cluster.placement.n_groups == 1,
+            retain_outcomes=spec.retain_outcomes,
         )
     else:
         datacenter = spec.client_datacenter
@@ -85,7 +113,8 @@ def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[Workload
             virginia = [dc for dc in cluster.topology.names if dc.startswith("V")]
             datacenter = virginia[0] if virginia else cluster.topology.names[0]
         drivers = [WorkloadDriver(cluster, spec.workload, spec.protocol,
-                                  datacenter=datacenter)]
+                                  datacenter=datacenter,
+                                  retain_outcomes=spec.retain_outcomes)]
     drivers[0].install_data()
     for driver in drivers:
         driver.start()
@@ -149,15 +178,40 @@ def finish_run(
         for group, group_log in group_logs.items()
         for position, entry in group_log.items()
     }
-    metrics = RunMetrics.from_outcomes(
-        outcomes, protocol=spec.protocol, log=log, queue=queue
+    # Streaming drivers (retain_outcomes=False, and the open-loop engine in
+    # either retention mode) carry their statistics as O(histogram-bucket)
+    # aggregates; build the metrics from those instead of outcome lists.
+    use_aggregates = any(
+        getattr(driver, "metrics_from_aggregates", False) for driver in drivers
     )
-    per_instance = {
-        result.datacenter: RunMetrics.from_outcomes(
-            result.outcomes, protocol=spec.protocol
+    if use_aggregates:
+        merged = OutcomeAggregate()
+        for driver in drivers:
+            merged.merge(driver.aggregate())
+        open_loop = None
+        loops = [d for d in drivers if hasattr(d, "open_loop_stats")]
+        if loops:
+            open_loop = loops[0].open_loop_stats()
+        metrics = RunMetrics.from_aggregate(
+            merged, protocol=spec.protocol, log=log, queue=queue,
+            open_loop=open_loop,
         )
-        for result in results
-    }
+        per_instance = {
+            driver.datacenter: RunMetrics.from_aggregate(
+                driver.aggregate(), protocol=spec.protocol
+            )
+            for driver in drivers
+        }
+    else:
+        metrics = RunMetrics.from_outcomes(
+            outcomes, protocol=spec.protocol, log=log, queue=queue
+        )
+        per_instance = {
+            result.datacenter: RunMetrics.from_outcomes(
+                result.outcomes, protocol=spec.protocol
+            )
+            for result in results
+        }
     stats = cluster.lane_profile()
     lane_profile = None
     if stats is not None:

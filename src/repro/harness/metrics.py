@@ -6,10 +6,19 @@ and — in the §6 prose — combination counts ("At most, 24 combinations were
 performed per experiment, and the average number of combinations was only
 6.8") and maximum promotions observed ("no transaction was able to execute
 more than seven promotions before aborting").
+
+Beyond the paper's means, every latency family (commit, all-transaction,
+cross-group, queue-send) flows through one summary helper,
+:class:`LatencySummary`, which also carries the production-facing tails
+(p50/p95/p99/p999).  A summary is built either *exactly* from a retained
+sample list, or from a :class:`LatencyHistogram` — the fixed-memory
+log-bucketed accumulator that open-loop and aggregate-only runs stream
+into instead of keeping per-transaction outcome lists.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from statistics import fmean, median
 from typing import Hashable, Iterable, Mapping
@@ -24,6 +33,329 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
         return float("nan")
     index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
     return sorted_values[index]
+
+
+#: Geometric bucket layout of :class:`LatencyHistogram`: this many buckets
+#: per factor of two, i.e. a bucket width ratio of ``2**(1/8)`` (~9%).
+_SUBBUCKETS = 8
+_BUCKET_RATIO = 2.0 ** (1.0 / _SUBBUCKETS)
+
+
+class LatencyHistogram:
+    """Fixed-memory streaming latency histogram with log-spaced buckets.
+
+    HDR-style: a positive value ``v`` lands in bucket
+    ``floor(log2(v) * 8)``, so bucket ``i`` covers ``[2**(i/8),
+    2**((i+1)/8))`` ms and any reported percentile is within one bucket
+    width (a factor of ``2**(1/8)`` ≈ 1.09) of the exact sample
+    percentile, independent of sample count.  Non-positive values (an
+    instant-store commit can legitimately take 0 ms) occupy a dedicated
+    zero bucket and report exactly.
+
+    State is O(buckets) — eight buckets per factor of two of dynamic
+    range, a few hundred ints for any realistic latency spread — which is
+    what lets a million-user open-loop run carry full latency tails, and
+    worker processes ship histograms home instead of outcome lists.
+
+    :meth:`absorb` adds per-bucket counts, so merging histograms yields
+    *exactly* the histogram of the concatenated samples: associative and
+    commutative on every count-derived statistic (the running ``total``
+    is subject to float addition order, so merge in a fixed order when
+    bit-identical means matter — the harness always does).
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.zero_count = 0
+        self.n = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    @staticmethod
+    def bucket_ratio() -> float:
+        """Upper bound on rep/exact percentile disagreement (one bucket)."""
+        return _BUCKET_RATIO
+
+    def record(self, value: float) -> None:
+        """Fold one latency sample in."""
+        self.n += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        index = math.floor(math.log2(value) * _SUBBUCKETS)
+        self.counts[index] = self.counts.get(index, 0) + 1
+
+    def absorb(self, other: "LatencyHistogram") -> None:
+        """Merge *other* in; exact on counts (see class docstring)."""
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.zero_count += other.zero_count
+        self.n += other.n
+        self.total += other.total
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    def copy(self) -> "LatencyHistogram":
+        fresh = LatencyHistogram()
+        fresh.absorb(self)
+        return fresh
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (running sum, not bucket representatives)."""
+        if self.n == 0:
+            return float("nan")
+        return self.total / self.n
+
+    def percentile(self, fraction: float) -> float:
+        """The *fraction* percentile, to within one bucket width.
+
+        Uses the same nearest-rank convention as the exact
+        :func:`_percentile`, so an exact and a histogram percentile of the
+        same sample target the same rank and can only disagree by the
+        bucket's representative error.  The representative (geometric
+        bucket midpoint) is clamped to the observed [min, max], which
+        makes single-value and extreme-rank queries exact.
+        """
+        if self.n == 0:
+            return float("nan")
+        rank = min(self.n - 1, int(round(fraction * (self.n - 1))))
+        # The extreme ranks are the tracked sample bounds — exact.
+        if rank == 0:
+            return self.min_value
+        if rank == self.n - 1:
+            return self.max_value
+        if rank < self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if rank < seen:
+                rep = 2.0 ** ((index + 0.5) / _SUBBUCKETS)
+                return min(max(rep, self.min_value), self.max_value)
+        return self.max_value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.zero_count == other.zero_count
+            and self.n == other.n
+            and self.total == other.total
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __repr__(self) -> str:
+        buckets = {index: self.counts[index] for index in sorted(self.counts)}
+        return (
+            f"LatencyHistogram(n={self.n}, zero={self.zero_count}, "
+            f"total={self.total!r}, min={self.min_value!r}, "
+            f"max={self.max_value!r}, buckets={buckets!r})"
+        )
+
+
+@dataclass
+class LatencySummary:
+    """One latency family summarized: count, mean, and tail percentiles.
+
+    The single helper every latency column goes through — commit,
+    all-transaction, cross-group (2PC), and queue-send commit latencies
+    all report the same statistics now, instead of the historical mix of
+    mean-only and median/p95.  Built exactly (:meth:`exact`) when the run
+    retained its outcomes, or from a streaming histogram
+    (:meth:`from_histogram`) when it did not.
+    """
+
+    count: int = 0
+    mean_ms: float = float("nan")
+    p50_ms: float = float("nan")
+    p95_ms: float = float("nan")
+    p99_ms: float = float("nan")
+    p999_ms: float = float("nan")
+    max_ms: float = float("nan")
+
+    @classmethod
+    def exact(cls, values: "Iterable[float]") -> "LatencySummary":
+        values = list(values)
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        return cls(
+            count=len(values),
+            mean_ms=fmean(values),
+            p50_ms=median(values),
+            p95_ms=_percentile(ordered, 0.95),
+            p99_ms=_percentile(ordered, 0.99),
+            p999_ms=_percentile(ordered, 0.999),
+            max_ms=ordered[-1],
+        )
+
+    @classmethod
+    def from_histogram(cls, histogram: LatencyHistogram) -> "LatencySummary":
+        if histogram.count == 0:
+            return cls()
+        return cls(
+            count=histogram.count,
+            mean_ms=histogram.mean,
+            p50_ms=histogram.percentile(0.5),
+            p95_ms=histogram.percentile(0.95),
+            p99_ms=histogram.percentile(0.99),
+            p999_ms=histogram.percentile(0.999),
+            max_ms=histogram.max_value,
+        )
+
+
+@dataclass
+class OpenLoopStats:
+    """Arrival-side accounting of an open-loop run.
+
+    Offered traffic is what the arrival processes generated; admission
+    control (each pooled client's bounded pending queue) splits it into
+    admitted and dropped, and ``queue_wait`` is how long admitted arrivals
+    sat pending before a client picked them up — the backpressure signal
+    that, with the drop counter, describes behaviour past saturation.
+    """
+
+    logical_users: int = 0
+    pool_size: int = 0
+    offered_rate: float = 0.0   # configured arrivals/second across the pool
+    duration_ms: float = 0.0    # admission horizon (drain tail excluded)
+    offered: int = 0            # arrivals the processes generated
+    admitted: int = 0
+    dropped: int = 0            # admission-control rejections
+    completed: int = 0          # admitted transactions run to a decision
+    peak_pending: int = 0
+    queue_wait: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.offered == 0:
+            return float("nan")
+        return self.dropped / self.offered
+
+
+@dataclass
+class OutcomeAggregate:
+    """Streaming, exactly-mergeable accumulation of transaction outcomes.
+
+    ``retain_outcomes=False`` runs fold every outcome into one of these —
+    O(histogram buckets) state — instead of appending to per-thread
+    outcome lists, and sharded worker processes ship these home instead
+    of the lists.  Counts and sums merge exactly; merging per-thread
+    aggregates in thread order reproduces the serial fold bit for bit,
+    which is what keeps ``--jobs`` digests identical.
+    """
+
+    n: int = 0
+    commits: int = 0
+    aborts_by_reason: dict[str, int] = field(default_factory=dict)
+    commits_by_round: dict[int, int] = field(default_factory=dict)
+    latency_sum_by_round: dict[int, float] = field(default_factory=dict)
+    commit_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    all_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    cross_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    cross_group_transactions: int = 0
+    cross_group_commits: int = 0
+    queue_send_transactions: int = 0
+    queue_send_commits: int = 0
+    queue_sends: int = 0
+    max_promotions: int = 0
+    duration_ms: float = 0.0
+
+    def absorb(self, outcome: TransactionOutcome,
+               latency_ms: float | None = None) -> None:
+        """Fold one outcome in; mirrors ``RunMetrics.from_outcomes``.
+
+        ``latency_ms`` overrides the outcome's own latency — the open-loop
+        driver passes the *response time* (arrival → decision, queueing
+        delay included), the honest open-loop latency.
+        """
+        latency = outcome.latency_ms if latency_ms is None else latency_ms
+        self.n += 1
+        self.all_latency.record(latency)
+        if outcome.promotions > self.max_promotions:
+            self.max_promotions = outcome.promotions
+        if outcome.transaction.is_cross_group and outcome.transaction.groups:
+            self.cross_group_transactions += 1
+            if outcome.committed:
+                self.cross_group_commits += 1
+                self.cross_latency.record(latency)
+        if outcome.transaction.sends:
+            self.queue_send_transactions += 1
+            if outcome.committed:
+                self.queue_send_commits += 1
+                self.queue_sends += len(outcome.transaction.sends)
+                self.queue_latency.record(latency)
+        if outcome.committed:
+            self.commits += 1
+            self.commits_by_round[outcome.promotions] = (
+                self.commits_by_round.get(outcome.promotions, 0) + 1
+            )
+            self.latency_sum_by_round[outcome.promotions] = (
+                self.latency_sum_by_round.get(outcome.promotions, 0.0) + latency
+            )
+            self.commit_latency.record(latency)
+        else:
+            reason = str(outcome.abort_reason or AbortReason.TIMEOUT)
+            self.aborts_by_reason[reason] = (
+                self.aborts_by_reason.get(reason, 0) + 1
+            )
+        if outcome.end_time > self.duration_ms:
+            self.duration_ms = outcome.end_time
+
+    # List-compatible alias: the driver's client loops append outcomes to
+    # their sink without caring whether it is a list or an aggregate.
+    append = absorb
+
+    def copy(self) -> "OutcomeAggregate":
+        fresh = OutcomeAggregate()
+        fresh.merge(self)
+        return fresh
+
+    def merge(self, other: "OutcomeAggregate") -> None:
+        """Fold another aggregate in (exact; order fixes float sums)."""
+        self.n += other.n
+        self.commits += other.commits
+        for reason, count in other.aborts_by_reason.items():
+            self.aborts_by_reason[reason] = (
+                self.aborts_by_reason.get(reason, 0) + count
+            )
+        for round_, count in other.commits_by_round.items():
+            self.commits_by_round[round_] = (
+                self.commits_by_round.get(round_, 0) + count
+            )
+        for round_, total in other.latency_sum_by_round.items():
+            self.latency_sum_by_round[round_] = (
+                self.latency_sum_by_round.get(round_, 0.0) + total
+            )
+        self.commit_latency.absorb(other.commit_latency)
+        self.all_latency.absorb(other.all_latency)
+        self.cross_latency.absorb(other.cross_latency)
+        self.queue_latency.absorb(other.queue_latency)
+        self.cross_group_transactions += other.cross_group_transactions
+        self.cross_group_commits += other.cross_group_commits
+        self.queue_send_transactions += other.queue_send_transactions
+        self.queue_send_commits += other.queue_send_commits
+        self.queue_sends += other.queue_sends
+        if other.max_promotions > self.max_promotions:
+            self.max_promotions = other.max_promotions
+        if other.duration_ms > self.duration_ms:
+            self.duration_ms = other.duration_ms
 
 
 @dataclass
@@ -70,23 +402,26 @@ class RunMetrics:
     aborts_by_reason: dict[str, int] = field(default_factory=dict)
     commits_by_round: dict[int, int] = field(default_factory=dict)
     latency_by_round: dict[int, float] = field(default_factory=dict)
-    mean_commit_latency_ms: float = float("nan")
-    median_commit_latency_ms: float = float("nan")
-    p95_commit_latency_ms: float = float("nan")
-    mean_all_latency_ms: float = float("nan")
+    #: Every latency family reports the full summary (mean + p50/p95/p99/
+    #: p999) through the one shared helper; the historical scalar names
+    #: below are properties over these.
+    commit_latency: LatencySummary = field(default_factory=LatencySummary)
+    all_latency: LatencySummary = field(default_factory=LatencySummary)
+    cross_commit_latency: LatencySummary = field(default_factory=LatencySummary)
+    queue_commit_latency: LatencySummary = field(default_factory=LatencySummary)
     max_promotions: int = 0
     duration_ms: float = 0.0
     log: LogStats = field(default_factory=LogStats)
     #: Cross-group (2PC) slice of the run.
     cross_group_transactions: int = 0
     cross_group_commits: int = 0
-    mean_cross_commit_latency_ms: float = float("nan")
     #: Asynchronous-queue slice of the run.
     queue_send_transactions: int = 0
     queue_send_commits: int = 0
     queue_sends: int = 0
-    mean_queue_commit_latency_ms: float = float("nan")
     queue: QueueStats = field(default_factory=QueueStats)
+    #: Arrival-side accounting when the run used the open-loop engine.
+    open_loop: OpenLoopStats | None = None
 
     @property
     def aborts(self) -> int:
@@ -97,6 +432,38 @@ class RunMetrics:
         if self.n_transactions == 0:
             return float("nan")
         return self.commits / self.n_transactions
+
+    # Historical scalar names, kept as views over the unified summaries.
+    @property
+    def mean_commit_latency_ms(self) -> float:
+        return self.commit_latency.mean_ms
+
+    @property
+    def median_commit_latency_ms(self) -> float:
+        return self.commit_latency.p50_ms
+
+    @property
+    def p95_commit_latency_ms(self) -> float:
+        return self.commit_latency.p95_ms
+
+    @property
+    def mean_all_latency_ms(self) -> float:
+        return self.all_latency.mean_ms
+
+    @property
+    def mean_cross_commit_latency_ms(self) -> float:
+        return self.cross_commit_latency.mean_ms
+
+    @property
+    def mean_queue_commit_latency_ms(self) -> float:
+        return self.queue_commit_latency.mean_ms
+
+    @property
+    def goodput_per_s(self) -> float:
+        """Committed transactions per offered second (open-loop runs)."""
+        if self.open_loop is None or self.open_loop.duration_ms <= 0:
+            return float("nan")
+        return self.commits / (self.open_loop.duration_ms / 1000.0)
 
     @classmethod
     def from_outcomes(
@@ -145,23 +512,80 @@ class RunMetrics:
                     metrics.aborts_by_reason.get(reason, 0) + 1
                 )
             metrics.duration_ms = max(metrics.duration_ms, outcome.end_time)
-        if commit_latencies:
-            ordered = sorted(commit_latencies)
-            metrics.mean_commit_latency_ms = fmean(commit_latencies)
-            metrics.median_commit_latency_ms = median(commit_latencies)
-            metrics.p95_commit_latency_ms = _percentile(ordered, 0.95)
-        if all_latencies:
-            metrics.mean_all_latency_ms = fmean(all_latencies)
-        if cross_latencies:
-            metrics.mean_cross_commit_latency_ms = fmean(cross_latencies)
-        if queue_latencies:
-            metrics.mean_queue_commit_latency_ms = fmean(queue_latencies)
+        metrics.commit_latency = LatencySummary.exact(commit_latencies)
+        metrics.all_latency = LatencySummary.exact(all_latencies)
+        metrics.cross_commit_latency = LatencySummary.exact(cross_latencies)
+        metrics.queue_commit_latency = LatencySummary.exact(queue_latencies)
         metrics.latency_by_round = {
             round_: fmean(values) for round_, values in sorted(per_round.items())
         }
         if log is not None:
             metrics.log = LogStats.from_log(log)
         return metrics
+
+    @classmethod
+    def from_aggregate(
+        cls,
+        aggregate: OutcomeAggregate,
+        protocol: str = "",
+        log: Mapping[Hashable, LogEntry] | None = None,
+        queue: QueueStats | None = None,
+        open_loop: OpenLoopStats | None = None,
+    ) -> "RunMetrics":
+        """Metrics from a streaming aggregate (no outcome list retained).
+
+        Field-for-field the same derivations as :meth:`from_outcomes`,
+        except every percentile comes from the log-bucketed histograms —
+        within one bucket width of the exact value by construction.
+        """
+        metrics = cls(
+            protocol=protocol,
+            n_transactions=aggregate.n,
+            commits=aggregate.commits,
+            aborts_by_reason=dict(sorted(aggregate.aborts_by_reason.items())),
+            commits_by_round=dict(sorted(aggregate.commits_by_round.items())),
+            latency_by_round={
+                round_: total / aggregate.commits_by_round[round_]
+                for round_, total in sorted(aggregate.latency_sum_by_round.items())
+            },
+            commit_latency=LatencySummary.from_histogram(aggregate.commit_latency),
+            all_latency=LatencySummary.from_histogram(aggregate.all_latency),
+            cross_commit_latency=LatencySummary.from_histogram(aggregate.cross_latency),
+            queue_commit_latency=LatencySummary.from_histogram(aggregate.queue_latency),
+            max_promotions=aggregate.max_promotions,
+            duration_ms=aggregate.duration_ms,
+            cross_group_transactions=aggregate.cross_group_transactions,
+            cross_group_commits=aggregate.cross_group_commits,
+            queue_send_transactions=aggregate.queue_send_transactions,
+            queue_send_commits=aggregate.queue_send_commits,
+            queue_sends=aggregate.queue_sends,
+            open_loop=open_loop,
+        )
+        if queue is not None:
+            metrics.queue = queue
+        if log is not None:
+            metrics.log = LogStats.from_log(log)
+        return metrics
+
+
+def _safe_mean(values: list[float]) -> float:
+    finite = [v for v in values if v == v]  # drop NaNs
+    return fmean(finite) if finite else float("nan")
+
+
+def _aggregate_summaries(summaries: list[LatencySummary]) -> LatencySummary:
+    """Average per-trial summaries field by field (the paper's convention:
+    trials are averaged, not pooled)."""
+    finite_max = [s.max_ms for s in summaries if s.max_ms == s.max_ms]
+    return LatencySummary(
+        count=round(fmean(s.count for s in summaries)),
+        mean_ms=_safe_mean([s.mean_ms for s in summaries]),
+        p50_ms=_safe_mean([s.p50_ms for s in summaries]),
+        p95_ms=_safe_mean([s.p95_ms for s in summaries]),
+        p99_ms=_safe_mean([s.p99_ms for s in summaries]),
+        p999_ms=_safe_mean([s.p999_ms for s in summaries]),
+        max_ms=max(finite_max) if finite_max else float("nan"),
+    )
 
 
 def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
@@ -190,32 +614,25 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
         r: fmean([t.latency_by_round[r] for t in trials if r in t.latency_by_round])
         for r in sorted(latency_rounds)
     }
-
-    def _safe_mean(values: list[float]) -> float:
-        finite = [v for v in values if v == v]  # drop NaNs
-        return fmean(finite) if finite else float("nan")
-
-    result.mean_commit_latency_ms = _safe_mean([t.mean_commit_latency_ms for t in trials])
-    result.median_commit_latency_ms = _safe_mean([t.median_commit_latency_ms for t in trials])
-    result.p95_commit_latency_ms = _safe_mean([t.p95_commit_latency_ms for t in trials])
-    result.mean_all_latency_ms = _safe_mean([t.mean_all_latency_ms for t in trials])
+    result.commit_latency = _aggregate_summaries([t.commit_latency for t in trials])
+    result.all_latency = _aggregate_summaries([t.all_latency for t in trials])
+    result.cross_commit_latency = _aggregate_summaries(
+        [t.cross_commit_latency for t in trials]
+    )
+    result.queue_commit_latency = _aggregate_summaries(
+        [t.queue_commit_latency for t in trials]
+    )
     result.max_promotions = max(t.max_promotions for t in trials)
     result.duration_ms = fmean(t.duration_ms for t in trials)
     result.cross_group_transactions = round(
         fmean(t.cross_group_transactions for t in trials)
     )
     result.cross_group_commits = round(fmean(t.cross_group_commits for t in trials))
-    result.mean_cross_commit_latency_ms = _safe_mean(
-        [t.mean_cross_commit_latency_ms for t in trials]
-    )
     result.queue_send_transactions = round(
         fmean(t.queue_send_transactions for t in trials)
     )
     result.queue_send_commits = round(fmean(t.queue_send_commits for t in trials))
     result.queue_sends = round(fmean(t.queue_sends for t in trials))
-    result.mean_queue_commit_latency_ms = _safe_mean(
-        [t.mean_queue_commit_latency_ms for t in trials]
-    )
     # The three delivery buckets are averaged individually and the send
     # total re-derived from them, so independent rounding can never break
     # the ``applied + drained + undelivered == sends`` identity — and a
@@ -238,6 +655,20 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
         stalled=round(fmean(t.queue.stalled for t in trials)),
         stall_threshold_ms=trials[0].queue.stall_threshold_ms,
     )
+    loops = [t.open_loop for t in trials if t.open_loop is not None]
+    if loops:
+        result.open_loop = OpenLoopStats(
+            logical_users=loops[0].logical_users,
+            pool_size=loops[0].pool_size,
+            offered_rate=loops[0].offered_rate,
+            duration_ms=loops[0].duration_ms,
+            offered=round(fmean(s.offered for s in loops)),
+            admitted=round(fmean(s.admitted for s in loops)),
+            dropped=round(fmean(s.dropped for s in loops)),
+            completed=round(fmean(s.completed for s in loops)),
+            peak_pending=max(s.peak_pending for s in loops),
+            queue_wait=_aggregate_summaries([s.queue_wait for s in loops]),
+        )
     result.log = LogStats(
         positions=round(fmean(t.log.positions for t in trials)),
         combined_entries=round(fmean(t.log.combined_entries for t in trials)),

@@ -95,6 +95,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
     headers = [
         "cell", "protocol", "txns", "commits", "rate",
         "by promotion round", "lat ms (commit)", "lat ms (all)",
+        "p99", "p999",
         "combined", "max promo", "xgroup", "queue", "aborts by reason",
     ]
     rows = []
@@ -109,11 +110,55 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             _round_histogram(metrics),
             _fmt(metrics.mean_commit_latency_ms),
             _fmt(metrics.mean_all_latency_ms),
+            _fmt(metrics.commit_latency.p99_ms),
+            _fmt(metrics.commit_latency.p999_ms),
             str(metrics.log.combined_entries),
             str(metrics.max_promotions),
             _cross_group_cell(metrics),
             _queue_cell(metrics),
             _abort_histogram(metrics),
+        ])
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_open_loop(results: list[ExperimentResult], title: str = "") -> str:
+    """Saturation-sweep view: one row per offered-load point.
+
+    ``goodput/s`` is committed transactions per offered second; once it
+    stops tracking ``offered/s`` the system is past its saturation knee and
+    the drop column (admission control) plus the pending-queue wait column
+    (backpressure) explain where the excess went.
+    """
+    headers = [
+        "cell", "protocol", "offered/s", "arrivals", "admitted", "dropped",
+        "drop%", "commits", "goodput/s", "p50", "p95", "p99", "p999",
+        "wait ms", "peak pend",
+    ]
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        stats = metrics.open_loop
+        if stats is None:
+            continue
+        rows.append([
+            result.spec.name,
+            metrics.protocol,
+            _fmt(stats.offered_rate),
+            str(stats.offered),
+            str(stats.admitted),
+            str(stats.dropped),
+            _fmt(100 * stats.drop_rate) + "%",
+            str(metrics.commits),
+            _fmt(metrics.goodput_per_s),
+            _fmt(metrics.commit_latency.p50_ms),
+            _fmt(metrics.commit_latency.p95_ms),
+            _fmt(metrics.commit_latency.p99_ms),
+            _fmt(metrics.commit_latency.p999_ms),
+            _fmt(stats.queue_wait.mean_ms),
+            str(stats.peak_pending),
         ])
     table = format_table(headers, rows)
     if title:

@@ -163,7 +163,14 @@ def _compute_horizons(
 
 
 def _worker_payload(cluster, drivers, owned: set[int]) -> dict[str, Any]:
-    """Everything a worker's lanes produced, in picklable form."""
+    """Everything a worker's lanes produced, in picklable form.
+
+    On ``retain_outcomes=False`` drivers the per-thread sinks are
+    O(histogram-bucket) :class:`~repro.harness.metrics.OutcomeAggregate`
+    payloads instead of outcome lists — the shipping (and the coordinator's
+    ``absorb_thread_outcomes``) is sink-agnostic, so aggregate-only runs
+    never serialize per-transaction outcomes across the process boundary.
+    """
     sim: "ShardedSimulator" = cluster.env.sim
     stores = {
         key: store.dump_state()

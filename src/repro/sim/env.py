@@ -90,6 +90,14 @@ class Environment:
             return Timeout(self, delay, value)
         return Timeout(self, delay, value, lane)
 
+    def timeout_until(self, when: float, value: Any = None) -> Timeout:
+        """An event that fires at absolute sim time ``when`` (now if past).
+
+        The open-loop arrival scheduler thinks in absolute arrival times;
+        this keeps the clamping in one place.
+        """
+        return self.timeout(max(0.0, when - self.sim.now), value)
+
     def process(self, generator: Generator, name: str | None = None,
                 lane: int | None = None) -> Process:
         """Spawn a process driving *generator*; returns the process event.

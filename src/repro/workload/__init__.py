@@ -1,4 +1,4 @@
-"""YCSB-style transactional workload (§6).
+"""YCSB-style transactional workload (§6) and the open-loop traffic engine.
 
 The paper evaluates with "an extended version of the [YCSB] framework that
 supports transactions" [12]: transactions of N operations, 50% reads / 50%
@@ -12,15 +12,35 @@ with staggered starts and a per-thread target rate.
   writer).
 * :mod:`repro.workload.driver` — closed-loop rate-capped client threads,
   single- and per-datacenter instances, outcome collection.
+* :mod:`repro.workload.openloop` — open-loop arrival processes (Poisson,
+  diurnal, flash-crowd), a million-user logical-user model with a moving
+  zipfian hot spot, and a pooled-client driver with admission control.
 """
 
-from repro.workload.driver import InstanceResult, WorkloadDriver
+from repro.workload.driver import InstanceResult, WorkloadDriver, execute_plan
+from repro.workload.openloop import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    LogicalUserModel,
+    OpenLoopDriver,
+    PoissonArrivals,
+    make_arrival_process,
+)
 from repro.workload.ycsb import Operation, YcsbWorkload, ZipfianGenerator
 
 __all__ = [
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
     "InstanceResult",
+    "LogicalUserModel",
+    "OpenLoopDriver",
     "Operation",
+    "PoissonArrivals",
     "WorkloadDriver",
     "YcsbWorkload",
     "ZipfianGenerator",
+    "execute_plan",
+    "make_arrival_process",
 ]

@@ -35,6 +35,87 @@ from repro.workload.ycsb import TransactionPlan, YcsbWorkload
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
     from repro.core.client import TransactionClient
+    from repro.harness.metrics import OutcomeAggregate
+
+
+def execute_plan(
+    cluster: "Cluster", client: "TransactionClient", plan: TransactionPlan,
+) -> Generator:
+    """Execute one transaction plan end to end; never raises.
+
+    One target group pins the transaction to it — the paper's path,
+    byte-for-byte.  Several begin an unpinned cross-group transaction
+    that routes by row and commits through the 2PC coordinator.  Queue
+    ops are enqueued on the pinned handle as deferred remote writes and
+    ride the single-group commit.
+
+    Shared by the closed-loop :class:`WorkloadDriver` threads and the
+    open-loop pooled clients (:mod:`repro.workload.openloop`).
+    """
+    env = cluster.env
+    groups = plan.groups
+    begin_time = env.now
+    sequence = 0
+    try:
+        if len(groups) > 1:
+            handle = yield from client.begin()
+        else:
+            handle = yield from client.begin(groups[0])
+        for op in plan.ops:
+            if op.kind == "read":
+                yield from client.read(handle, op.row, op.attribute)
+            else:
+                sequence += 1
+                value = f"{client.node.name}@{env.now:.3f}:{sequence}"
+                client.write(handle, op.row, op.attribute, value)
+        for _group, op in plan.queue_ops:
+            sequence += 1
+            value = f"{client.node.name}@{env.now:.3f}:q{sequence}"
+            client.enqueue(handle, op.row, op.attribute, value)
+        outcome = yield from client.commit(handle)
+        return outcome
+    except CrossGroupTransaction as strayed:
+        # A pinned transaction touched a row of another group.  The mix
+        # should never produce this (cross-group specs run unpinned),
+        # but bypassed guards and hand-rolled workloads can — count it
+        # as its own abort reason rather than burying or raising it.
+        return TransactionOutcome(
+            transaction=_placeholder(client, groups, f"strayed@{env.now:.3f}"),
+            status=TransactionStatus.ABORTED,
+            abort_reason=AbortReason.CROSS_GROUP,
+            begin_time=begin_time,
+            end_time=env.now,
+            extra={"row": strayed.row, "row_group": strayed.row_group},
+        )
+    except TransactionError:
+        return TransactionOutcome(
+            transaction=_placeholder(client, groups, f"unavailable@{env.now:.3f}"),
+            status=TransactionStatus.ABORTED,
+            abort_reason=AbortReason.SERVICE_UNAVAILABLE,
+            begin_time=begin_time,
+            end_time=env.now,
+        )
+
+
+def _placeholder(client: "TransactionClient", groups: tuple[str, ...],
+                 tag: str) -> Transaction:
+    """A stand-in transaction for outcomes that never built one.
+
+    A failed *cross-group* attempt keeps its cross-group identity
+    (``group == CROSS_GROUP``, all intended participants in ``groups``)
+    so the 2PC metrics count the attempt and the abort is not misfiled
+    under an arbitrary participant group.
+    """
+    return Transaction(
+        tid=f"{client.node.name}#{tag}",
+        group=CROSS_GROUP if len(groups) > 1 else groups[0],
+        read_set=frozenset(),
+        writes=(),
+        read_position=-1,
+        origin=client.node.name,
+        origin_dc=client.datacenter,
+        groups=tuple(groups) if len(groups) > 1 else (),
+    )
 
 
 @dataclass
@@ -78,10 +159,19 @@ class WorkloadDriver:
         datacenter: str | None = None,
         instance_id: str = "ycsb0",
         multi_group: bool | None = None,
+        retain_outcomes: bool = True,
     ) -> None:
         self.cluster = cluster
         self.workload = workload
         self.protocol = protocol
+        #: ``False`` folds every outcome into a streaming
+        #: :class:`OutcomeAggregate` instead of per-thread lists — O(histogram
+        #: buckets) memory for aggregate-only runs (benchmarks, open-loop).
+        #: Invariant-checking runs keep the default, which retains the lists.
+        self.retain_outcomes = retain_outcomes
+        #: True when :func:`repro.harness.experiment.finish_run` must build
+        #: metrics from :meth:`aggregate` because no outcomes were retained.
+        self.metrics_from_aggregates = not retain_outcomes
         self.datacenter = datacenter or cluster.topology.names[0]
         self.instance_id = instance_id
         if multi_group is None:
@@ -126,6 +216,10 @@ class WorkloadDriver:
         #: aggregate order (and its floating-point sums) would depend on
         #: lane scheduling.  Merged in thread order by :attr:`result`.
         self._thread_outcomes: dict[int, list[TransactionOutcome]] = {}
+        #: Streaming sinks (``retain_outcomes=False``): per-thread in pinned
+        #: mode (same lane-isolation argument as the lists), one shared
+        #: aggregate keyed 0 otherwise.
+        self._thread_aggregates: dict[int, OutcomeAggregate] = {}
         self._generator = YcsbWorkload(
             workload,
             cluster.env.rng.stream(f"workload.{instance_id}"),
@@ -159,7 +253,13 @@ class WorkloadDriver:
 
     @property
     def result(self) -> InstanceResult:
-        """This instance's outcomes (merged in thread order when pinned)."""
+        """This instance's outcomes (merged in thread order when pinned).
+
+        Empty in streaming mode — aggregate-only runs have no outcome
+        lists; use :meth:`aggregate` instead.
+        """
+        if not self.retain_outcomes:
+            return InstanceResult(datacenter=self.datacenter)
         if not self.pinned:
             return self._result
         merged = InstanceResult(datacenter=self.datacenter)
@@ -167,16 +267,50 @@ class WorkloadDriver:
             merged.outcomes.extend(self._thread_outcomes[index])
         return merged
 
-    def thread_outcomes(self) -> dict[int, list[TransactionOutcome]]:
-        """Per-thread outcome lists (worker processes ship these home)."""
+    def aggregate(self) -> OutcomeAggregate | None:
+        """This instance's streaming aggregate, merged in thread order.
+
+        ``None`` on retained runs (build metrics from :attr:`result`).
+        Merging in sorted thread order keeps the floating-point sums
+        identical between serial runs and worker-shipped merges.
+        """
+        if self.retain_outcomes:
+            return None
+        from repro.harness.metrics import OutcomeAggregate
+
+        merged = OutcomeAggregate()
+        for index in sorted(self._thread_aggregates):
+            merged.merge(self._thread_aggregates[index])
+        return merged
+
+    def thread_outcomes(self) -> dict[int, list[TransactionOutcome]] | dict[int, OutcomeAggregate]:
+        """Per-thread sinks (worker processes ship these home).
+
+        Outcome lists on retained runs; O(histogram-bucket)
+        :class:`OutcomeAggregate` payloads on streaming runs — this is the
+        multiprocessing win: workers never serialize outcome lists.
+        """
+        if not self.retain_outcomes:
+            return {
+                i: agg.copy()
+                for i, agg in self._thread_aggregates.items()
+            }
         if self.pinned:
             return {i: list(o) for i, o in self._thread_outcomes.items()}
         return {0: list(self._result.outcomes)}
 
     def absorb_thread_outcomes(
-        self, outcomes: "dict[int, list[TransactionOutcome]]"
+        self,
+        outcomes: "dict[int, list[TransactionOutcome]] | dict[int, OutcomeAggregate]",
     ) -> None:
-        """Install outcomes a worker process produced for our threads."""
+        """Install sinks a worker process produced for our threads."""
+        if not self.retain_outcomes:
+            from repro.harness.metrics import OutcomeAggregate
+
+            for index, aggregate in outcomes.items():
+                if isinstance(aggregate, OutcomeAggregate) and aggregate.n:
+                    self._thread_aggregates[index] = aggregate.copy()
+            return
         if self.pinned:
             for index, results in outcomes.items():
                 if results:
@@ -324,10 +458,17 @@ class WorkloadDriver:
                 generator: YcsbWorkload | None = None) -> Generator:
         env = self.cluster.env
         generator = generator if generator is not None else self._generator
-        sink = (
-            self._thread_outcomes[index] if self.pinned
-            else self._result.outcomes
-        )
+        if not self.retain_outcomes:
+            # OutcomeAggregate.append folds the outcome into O(buckets)
+            # state, so the loop below is sink-agnostic.
+            from repro.harness.metrics import OutcomeAggregate
+
+            key = index if self.pinned else 0
+            sink = self._thread_aggregates.setdefault(key, OutcomeAggregate())
+        elif self.pinned:
+            sink = self._thread_outcomes[index]
+        else:
+            sink = self._result.outcomes
         rng = env.rng.stream(f"driver.{self.instance_id}.{index}")
         yield env.timeout(index * self.workload.stagger_ms)
         slot = (self.instance_id, index)
@@ -359,78 +500,9 @@ class WorkloadDriver:
     def _run_transaction(
         self, client: "TransactionClient", plan: TransactionPlan,
     ) -> Generator:
-        """Execute one transaction end to end; never raises.
-
-        One target group pins the transaction to it — the paper's path,
-        byte-for-byte.  Several begin an unpinned cross-group transaction
-        that routes by row and commits through the 2PC coordinator.  Queue
-        ops are enqueued on the pinned handle as deferred remote writes and
-        ride the single-group commit.
-        """
-        env = self.cluster.env
-        groups = plan.groups
-        begin_time = env.now
-        sequence = 0
-        try:
-            if len(groups) > 1:
-                handle = yield from client.begin()
-            else:
-                handle = yield from client.begin(groups[0])
-            for op in plan.ops:
-                if op.kind == "read":
-                    yield from client.read(handle, op.row, op.attribute)
-                else:
-                    sequence += 1
-                    value = f"{client.node.name}@{env.now:.3f}:{sequence}"
-                    client.write(handle, op.row, op.attribute, value)
-            for _group, op in plan.queue_ops:
-                sequence += 1
-                value = f"{client.node.name}@{env.now:.3f}:q{sequence}"
-                client.enqueue(handle, op.row, op.attribute, value)
-            outcome = yield from client.commit(handle)
-            return outcome
-        except CrossGroupTransaction as strayed:
-            # A pinned transaction touched a row of another group.  The mix
-            # should never produce this (cross-group specs run unpinned),
-            # but bypassed guards and hand-rolled workloads can — count it
-            # as its own abort reason rather than burying or raising it.
-            return TransactionOutcome(
-                transaction=self._placeholder(client, groups, f"strayed@{env.now:.3f}"),
-                status=TransactionStatus.ABORTED,
-                abort_reason=AbortReason.CROSS_GROUP,
-                begin_time=begin_time,
-                end_time=env.now,
-                extra={"row": strayed.row, "row_group": strayed.row_group},
-            )
-        except TransactionError:
-            return TransactionOutcome(
-                transaction=self._placeholder(client, groups, f"unavailable@{env.now:.3f}"),
-                status=TransactionStatus.ABORTED,
-                abort_reason=AbortReason.SERVICE_UNAVAILABLE,
-                begin_time=begin_time,
-                end_time=env.now,
-            )
-
-    @staticmethod
-    def _placeholder(client: "TransactionClient", groups: tuple[str, ...],
-                     tag: str) -> Transaction:
-        """A stand-in transaction for outcomes that never built one.
-
-        A failed *cross-group* attempt keeps its cross-group identity
-        (``group == CROSS_GROUP``, all intended participants in ``groups``)
-        so the 2PC metrics count the attempt and the abort is not misfiled
-        under an arbitrary participant group.
-        """
-        return Transaction(
-            tid=f"{client.node.name}#{tag}",
-            group=CROSS_GROUP if len(groups) > 1 else groups[0],
-            read_set=frozenset(),
-            writes=(),
-            read_position=-1,
-            origin=client.node.name,
-            origin_dc=client.datacenter,
-            groups=tuple(groups) if len(groups) > 1 else (),
-        )
+        """Execute one transaction end to end (see :func:`execute_plan`)."""
+        outcome = yield from execute_plan(self.cluster, client, plan)
+        return outcome
 
     # ------------------------------------------------------------------
     # Multi-instance construction (Figure 8)
@@ -444,6 +516,7 @@ class WorkloadDriver:
         protocol: ProtocolName,
         *,
         shared_group: bool = True,
+        retain_outcomes: bool = True,
     ) -> list["WorkloadDriver"]:
         """One workload instance in every datacenter.
 
@@ -463,5 +536,6 @@ class WorkloadDriver:
                 cluster, workload, protocol,
                 datacenter=dc, instance_id=f"ycsb{index}",
                 multi_group=not shared_group,
+                retain_outcomes=retain_outcomes,
             ))
         return drivers

@@ -230,6 +230,16 @@ class YcsbWorkload:
         """The operation list for one transaction (single-group form)."""
         return self._make_ops(self._all_rows)
 
+    def plan_for_row(self, group: str, row: str) -> TransactionPlan:
+        """A single-group plan confined to one specific row.
+
+        The open-loop engine samples a logical user, maps it to its home
+        row/group, and asks for a plan there — the user model owns row
+        choice; this workload still owns the op mix (read fraction,
+        attribute skew, ops per transaction).
+        """
+        return TransactionPlan(groups=(group,), ops=tuple(self._make_ops([row])))
+
     def next_group_transaction(self) -> tuple[str, list[Operation]]:
         """One transaction plus the group it targets.
 

@@ -1,0 +1,170 @@
+"""Property tests for the streaming latency histogram.
+
+The histogram's contract (``harness/metrics.py``): any reported percentile
+is within one log-bucket width (a factor of ``2**(1/8)``) of the exact
+sample percentile at the same rank, and merging histograms is *exactly*
+the histogram of the concatenated samples — associative and commutative on
+every count-derived statistic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.metrics import (
+    LatencyHistogram,
+    LatencySummary,
+    _percentile,
+)
+
+RATIO = LatencyHistogram.bucket_ratio()
+
+latencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=300,
+)
+fractions = st.sampled_from([0.5, 0.95, 0.99, 0.999])
+
+
+def build(values: list[float]) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+# ----------------------------------------------------------------------
+# Percentile error bound
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(latencies, fractions)
+def test_percentile_within_one_bucket_of_exact(values, fraction):
+    histogram = build(values)
+    exact = _percentile(sorted(values), fraction)
+    approx = histogram.percentile(fraction)
+    assert exact / RATIO <= approx <= exact * RATIO, (
+        f"p{fraction}: histogram {approx} vs exact {exact}"
+    )
+
+
+@settings(max_examples=100)
+@given(latencies)
+def test_extremes_are_exact(values):
+    histogram = build(values)
+    # Rank 0 and rank n-1 hit the min/max clamp: exactly the sample bounds.
+    assert histogram.percentile(0.0) == min(values)
+    assert histogram.percentile(1.0) == max(values)
+    assert histogram.max_value == max(values)
+    assert histogram.min_value == min(values)
+
+
+@settings(max_examples=100)
+@given(latencies)
+def test_mean_is_exact(values):
+    # The mean comes from the running sum, not bucket representatives.
+    histogram = build(values)
+    assert math.isclose(histogram.mean, sum(values) / len(values))
+
+
+# ----------------------------------------------------------------------
+# Merge = concatenation, associativity, commutativity
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=100)
+@given(latencies, latencies)
+def test_merge_equals_concatenation(a, b):
+    merged = build(a)
+    merged.absorb(build(b))
+    concat = build(a + b)
+    assert merged.counts == concat.counts
+    assert merged.zero_count == concat.zero_count
+    assert merged.n == concat.n
+    assert merged.min_value == concat.min_value
+    assert merged.max_value == concat.max_value
+    # Float addition order differs between the two constructions, so the
+    # totals agree to rounding, not bit-for-bit.
+    assert math.isclose(merged.total, concat.total)
+
+
+@settings(max_examples=100)
+@given(latencies, latencies, latencies)
+def test_merge_associative_and_commutative(a, b, c):
+    ab_c = build(a)
+    ab_c.absorb(build(b))
+    ab_c.absorb(build(c))
+    a_bc = build(b)
+    a_bc.absorb(build(c))
+    a_bc.absorb(build(a))
+    assert ab_c.counts == a_bc.counts
+    assert ab_c.zero_count == a_bc.zero_count
+    assert ab_c.n == a_bc.n
+    assert ab_c.min_value == a_bc.min_value
+    assert ab_c.max_value == a_bc.max_value
+    assert math.isclose(ab_c.total, a_bc.total)
+    # Count-derived percentiles are therefore order-independent too.
+    for fraction in (0.5, 0.99, 0.999):
+        assert ab_c.percentile(fraction) == a_bc.percentile(fraction)
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+
+
+def test_empty_histogram_is_nan():
+    histogram = LatencyHistogram()
+    assert histogram.n == 0
+    assert histogram.mean != histogram.mean
+    assert histogram.percentile(0.5) != histogram.percentile(0.5)
+    summary = LatencySummary.from_histogram(histogram)
+    assert summary.count == 0
+    assert summary.p99_ms != summary.p99_ms
+
+
+def test_single_value_is_exact_everywhere():
+    histogram = build([123.456])
+    for fraction in (0.0, 0.5, 0.95, 0.99, 0.999, 1.0):
+        assert histogram.percentile(fraction) == 123.456
+    assert histogram.mean == 123.456
+
+
+def test_zero_and_negative_values_report_exactly():
+    # An instant-store commit can take 0 ms; the zero bucket keeps it exact.
+    histogram = build([0.0, 0.0, 0.0, 5.0])
+    assert histogram.zero_count == 3
+    assert histogram.percentile(0.5) == 0.0
+    assert histogram.percentile(1.0) == 5.0
+    assert histogram.min_value == 0.0
+
+
+def test_merge_with_empty_is_identity():
+    histogram = build([1.0, 10.0, 100.0])
+    before = repr(histogram)
+    histogram.absorb(LatencyHistogram())
+    assert repr(histogram) == before
+    empty = LatencyHistogram()
+    empty.absorb(build([1.0, 10.0, 100.0]))
+    assert empty.counts == histogram.counts
+    assert empty.n == histogram.n
+
+
+def test_summary_exact_and_histogram_agree_within_bucket():
+    values = [float(v) for v in range(1, 1001)]
+    exact = LatencySummary.exact(values)
+    approx = LatencySummary.from_histogram(build(values))
+    assert exact.count == approx.count
+    assert math.isclose(exact.mean_ms, approx.mean_ms)
+    assert exact.max_ms == approx.max_ms
+    for attr in ("p50_ms", "p95_ms", "p99_ms", "p999_ms"):
+        e, a = getattr(exact, attr), getattr(approx, attr)
+        # p50 exact uses statistics.median (midpoint on even counts), at
+        # most half a rank from the nearest-rank convention — still well
+        # inside one bucket width for this sample.
+        assert e / RATIO**1.5 <= a <= e * RATIO**1.5, (attr, e, a)
