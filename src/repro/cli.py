@@ -30,6 +30,7 @@ from repro.config import (
     StoreConfig,
     WorkloadConfig,
 )
+from repro.errors import OPEN_LOOP_SHARDS_ERROR
 from repro.harness.experiment import ExperimentSpec, run_cell
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import format_cells, format_comparison, format_per_instance
@@ -53,6 +54,15 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="datacenter letters, e.g. VVV, COV, VVVOC (default VVV)")
     parser.add_argument("--protocol", default="paxos-cp",
                         choices=["paxos", "paxos-cp", "leased-leader"])
+    parser.add_argument("--isolation", default="1sr",
+                        choices=["1sr", "si", "ssi"],
+                        help="commit-time validation level: 1sr (full "
+                             "serializability, the paper's default), si "
+                             "(snapshot isolation: first-committer-wins on "
+                             "write sets only — admits write skew, which the "
+                             "checker classifies instead of failing), ssi "
+                             "(serializable SI: adds read-set validation, "
+                             "restoring 1SR)")
     parser.add_argument("--transactions", type=int, default=500)
     parser.add_argument("--attributes", type=int, default=100)
     parser.add_argument("--ops", type=int, default=10)
@@ -175,6 +185,17 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             "error: --cross-group-fraction is incompatible with "
             "--protocol leased-leader (2PC prepares go through Paxos)"
         )
+    if args.isolation != "1sr":
+        if args.protocol == "leased-leader":
+            raise SystemExit(
+                "error: --isolation si/ssi needs --protocol paxos or "
+                "paxos-cp (the leased leader validates commits server-side)"
+            )
+        if args.cross_group_fraction > 0 or args.queue_fraction > 0:
+            raise SystemExit(
+                "error: --isolation si/ssi covers single-group commits "
+                "only; drop --cross-group-fraction / --queue-fraction"
+            )
     if args.open_loop:
         if args.per_dc:
             raise SystemExit(
@@ -182,10 +203,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
                 "not supported"
             )
         if args.shards > 1:
-            raise SystemExit(
-                "error: --open-loop needs --shards 1 (pooled clients roam "
-                "groups, which lane pinning cannot express)"
-            )
+            raise SystemExit(f"error: {OPEN_LOOP_SHARDS_ERROR}")
         if args.cross_group_fraction > 0 or args.queue_fraction > 0:
             raise SystemExit(
                 "error: --open-loop is incompatible with "
@@ -200,6 +218,8 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     # owns at least one row.
     placement = PlacementConfig.ranged(n_groups, key_universe=n_rows)
     name = f"{args.cluster}/{args.protocol}"
+    if args.isolation != "1sr":
+        name += f"/{args.isolation}"
     if n_groups > 1:
         name += f"/{n_groups}g"
     if args.open_loop:
@@ -216,6 +236,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             shards=args.shards,
             engine=args.engine,
             shard_workers=args.shard_workers,
+            isolation=args.isolation,
         ),
         workload=WorkloadConfig(
             n_transactions=args.transactions,
@@ -281,6 +302,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("\nabort reasons:", ", ".join(
             f"{reason}={count}" for reason, count in sorted(reasons.items())
         ))
+    if result.metrics.anomalies:
+        print("anomalies:", ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.metrics.anomalies.items())
+        ))
     return 0
 
 
@@ -296,7 +322,17 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(violation)
         return 1
     print(format_cells([result]))
-    print("\ninvariants (R1), (L1)-(L3), read-only consistency, MVSG 1SR: OK")
+    if spec.cluster.isolation == "si":
+        counts = result.metrics.anomalies
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        ) or "none"
+        print("\ninvariants (R1), (L1)-(L2), snapshot reads, "
+              "first-committer-wins: OK")
+        print(f"classified anomalies (expected under si): {summary}")
+    else:
+        print("\ninvariants (R1), (L1)-(L3), read-only consistency, "
+              "MVSG 1SR: OK")
     return 0
 
 

@@ -21,7 +21,7 @@ serializability test.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.config import ClusterConfig, ProtocolName
 from repro.core.client import TransactionClient
@@ -80,6 +80,9 @@ from repro.wal.log import (
     paxos_row_key,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serializability.checker import Anomaly
+
 
 class Cluster:
     """A fully wired multi-datacenter deployment."""
@@ -126,6 +129,10 @@ class Cluster:
         #: The cross-lane channel graph installed by the harness (empty until
         #: :meth:`restrict_lane_channels`); promise coverage derives from it.
         self._lane_channels: set[tuple[int, int]] = set()
+        #: Classified MVSG anomalies of the last :meth:`check_invariants_all`
+        #: pass (snapshot-isolation runs only; empty otherwise).  Sorted
+        #: deterministically so metrics digests agree serial vs parallel.
+        self._anomalies: "list[Anomaly]" = []
 
         group_homes = dict(self.config.placement.group_homes or {})
         for group, dc in group_homes.items():
@@ -221,6 +228,7 @@ class Cluster:
             placement=self.placement if self.placement.n_groups > 1 else None,
             shard_map=self.shard_map if not self.shard_map.single_lane else None,
             lane=lane,
+            isolation=self.config.isolation,
         )
 
     def client_pool(
@@ -933,9 +941,17 @@ class Cluster:
             ]
         image = self._initial_images.get(group, {})
         try:
-            run_all_checks(replicas, considered, image, decisions)
+            run_all_checks(
+                replicas, considered, image, decisions,
+                isolation=self.config.isolation,
+            )
         except InvariantViolation as exc:
             return list(exc.violations)
+        if self.config.isolation == "si":
+            # An acyclic MVSG is not owed under snapshot isolation — the
+            # coordinator classifies the cycles instead of failing the run
+            # (see check_invariants_all).
+            return []
         # Independent oracle: the MVSG test over the observed history.
         history = MVHistory.from_log(
             effective_log(global_log(replicas), decisions), image
@@ -1006,8 +1022,47 @@ class Cluster:
                 )
                 if violations:
                     raise InvariantViolation(violations)
+        self._anomalies = self._classify_anomalies(by_group, logs, decisions)
         self.finish_global_checks(cross_outcomes, logs, decisions, queue_active)
         return decisions
+
+    def _classify_anomalies(
+        self,
+        by_group: dict[str, list[TransactionOutcome]],
+        logs: dict[str, dict[int, LogEntry]],
+        decisions: dict[str, bool],
+    ) -> "list[Anomaly]":
+        """Name the MVSG cycles an ``si`` run admitted, per group.
+
+        Runs on the coordinator in both the serial and parallel checking
+        paths — the finalized ``logs`` are always in hand here, so the
+        classification cannot drift between ``--jobs`` modes.  Non-SI runs
+        return no anomalies: their group checks already *failed* on any
+        MVSG cycle, so reaching this point means the history is clean.
+        """
+        if self.config.isolation != "si":
+            return []
+        from repro.serializability.checker import classify_anomalies
+
+        anomalies: list[Anomaly] = []
+        for group in sorted(by_group):
+            history = MVHistory.from_log(
+                effective_log(logs[group], decisions),
+                self.initial_image_for(group),
+            )
+            anomalies.extend(classify_anomalies(history).anomalies)
+        return anomalies
+
+    @property
+    def anomalies(self) -> "list[Anomaly]":
+        """Classified anomalies of the last invariant pass (SI runs)."""
+        return list(self._anomalies)
+
+    def anomaly_counts(self) -> dict[str, int]:
+        """``{anomaly kind: count}`` of the last invariant pass, sorted by
+        kind — the shape :class:`repro.harness.metrics.RunMetrics` carries."""
+        counts = Counter(anomaly.kind for anomaly in self._anomalies)
+        return dict(sorted(counts.items()))
 
     def split_outcomes(
         self, outcomes: list[TransactionOutcome]

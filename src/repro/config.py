@@ -14,6 +14,16 @@ from typing import Literal, Mapping
 #: Which commit protocol a client runs.
 ProtocolName = Literal["paxos", "paxos-cp", "leased-leader"]
 
+#: Per-run isolation level.  ``"1sr"`` is the paper's one-copy
+#: serializability (reads-from validation on every commit).  ``"si"`` is
+#: snapshot isolation: reads come from the start-timestamp snapshot (the
+#: MVCC store already serves them at ``read_position``) and commit passes
+#: iff no concurrent committed transaction wrote an overlapping *write*
+#: set — first-committer-wins.  ``"ssi"`` is serializable SI: the SI rules
+#: plus the read-set/write-set intersection check, which restores 1SR
+#: without serial execution (arXiv:2405.18393's cure).
+IsolationLevel = Literal["1sr", "si", "ssi"]
+
 #: How the key space is carved into entity groups.
 GroupAssignment = Literal["hash", "range"]
 
@@ -221,8 +231,19 @@ class ClusterConfig:
     #: (parallel with each other) instead of serially on the coordinator.
     #: Verdicts are field-identical to the serial checker's.
     parallel_check: bool = True
+    #: Isolation level every client commits under.  ``"si"`` relaxes commit
+    #: validation to first-committer-wins (write-write only), so runs may
+    #: admit write skew — the checker then *classifies* the anomalies
+    #: instead of failing the run.  ``"ssi"`` adds the read-set
+    #: intersection back and must re-earn a clean 1SR verdict.
+    isolation: IsolationLevel = "1sr"
 
     def __post_init__(self) -> None:
+        if self.isolation not in ("1sr", "si", "ssi"):
+            raise ValueError(
+                f"isolation must be one of '1sr', 'si', 'ssi', "
+                f"got {self.isolation!r}"
+            )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.shards > 1 and self.shards > self.placement.n_groups:

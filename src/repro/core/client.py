@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.config import ProtocolConfig, ProtocolName
+from repro.config import IsolationLevel, ProtocolConfig, ProtocolName
 from repro.errors import (
     CrossGroupTransaction,
     ServiceUnavailable,
@@ -162,6 +162,7 @@ class TransactionClient:
         placement: Placement | None = None,
         shard_map: "ShardMap | None" = None,
         lane: int = 0,
+        isolation: IsolationLevel = "1sr",
     ) -> None:
         self.env = env
         self.datacenter = datacenter
@@ -170,6 +171,14 @@ class TransactionClient:
         self.datacenters = list(datacenters)
         self.home_dc = home_dc or self.datacenters[0]
         self.protocol_name = protocol
+        #: Isolation level the commit engines validate under.  Must be set
+        #: before ``_make_protocol`` — engines capture the client.
+        self.isolation = isolation
+        if isolation != "1sr" and protocol == "leased-leader":
+            raise ValueError(
+                "isolation 'si'/'ssi' needs the paxos or paxos-cp protocol "
+                "(the leased leader validates commits server-side)"
+            )
         self.protocol = self._make_protocol(protocol)
         self.placement = placement
         #: Group → event-lane routing on sharded deployments; ``None`` keeps

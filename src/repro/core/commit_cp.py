@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.config import ProtocolConfig
 from repro.model import AbortReason, Item, Transaction, TransactionStatus
 from repro.core.combine import combine
+from repro.core.isolation import conflict_abort_reason
 from repro.core.commit_basic import find_winning_val
 from repro.core.protocol import PaxosCommitBase, ValueDecision
 from repro.paxos.ballot import Ballot
@@ -141,14 +142,18 @@ class PaxosCPCommit(PaxosCommitBase):
                 return TransactionStatus.ABORTED
 
             # Lost the position.  Collect the winners' writes and decide
-            # whether promotion is still serializable (§5, "Promotion").
+            # whether promotion is still valid under the run's isolation
+            # level (§5, "Promotion", generalized: 1SR checks reads-from,
+            # SI first-committer-wins, SSI both).
             winner = result.entry
             conflict_writes |= winner.union_write_set()
-            if not self.config.enable_promotion:
+            isolation = self.client.isolation
+            if not self.config.enable_promotion and isolation == "1sr":
                 context.record_abort(AbortReason.LOST_POSITION, promotions=promotions)
                 return TransactionStatus.ABORTED
-            if txn.read_set & conflict_writes:
-                context.record_abort(AbortReason.PROMOTION_CONFLICT, promotions=promotions)
+            reason = conflict_abort_reason(isolation, txn, conflict_writes)
+            if reason is not None:
+                context.record_abort(reason, promotions=promotions)
                 return TransactionStatus.ABORTED
             if (
                 self.config.max_promotions is not None

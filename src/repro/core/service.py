@@ -214,6 +214,10 @@ class TransactionService:
         """Report the local read position and next-position leader.
 
         Costs one store read (the metadata lookup a real service performs).
+        The returned position is the transaction's *snapshot*: every read it
+        performs resolves at this position, under all isolation levels —
+        the levels diverge only in what commit-time validation the client
+        runs against entries chosen after it (:mod:`repro.core.isolation`).
         """
         payload: BeginRequest = msg.payload
         replica = self.replica(payload.group)

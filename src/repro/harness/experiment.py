@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.errors import OPEN_LOOP_SHARDS_ERROR, InvalidExperimentSpec
 from repro.harness.metrics import OutcomeAggregate, RunMetrics, aggregate_metrics
 from repro.model import TransactionOutcome
 from repro.workload.driver import WorkloadDriver
@@ -31,6 +32,12 @@ class ExperimentSpec:
     ``client_datacenter`` places the (single-instance) YCSB clients; when
     ``None`` the first Virginia zone is used if the cluster has one, else
     the first datacenter — the paper's load generator ran in Virginia.
+
+    Construction validates cross-field combinations (``__post_init__``), so
+    a misconfigured cell raises :class:`~repro.errors.InvalidExperimentSpec`
+    the moment the grid is *built* — long before any cluster exists —
+    instead of minutes into a sweep.  ``dataclasses.replace`` re-runs the
+    validation, so derived specs (``scaled`` and friends) cannot dodge it.
     """
 
     name: str
@@ -48,6 +55,33 @@ class ExperimentSpec:
     #: histograms (O(buckets) memory).  Incompatible with
     #: ``check_invariants`` — the invariant suite reads the outcomes.
     retain_outcomes: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.retain_outcomes and self.check_invariants:
+            raise InvalidExperimentSpec(
+                "retain_outcomes=False discards the per-transaction outcomes "
+                "the invariant suite reads; set check_invariants=False for "
+                "aggregate-only runs"
+            )
+        if self.workload.open_loop and self.cluster.shards > 1:
+            raise InvalidExperimentSpec(OPEN_LOOP_SHARDS_ERROR)
+        if self.cluster.isolation != "1sr":
+            if self.protocol == "leased-leader":
+                raise InvalidExperimentSpec(
+                    "isolation 'si'/'ssi' needs the paxos or paxos-cp "
+                    "protocol (the leased leader validates commits "
+                    "server-side, where the snapshot window is invisible)"
+                )
+            if (
+                self.workload.cross_group_fraction > 0
+                or self.workload.queue_fraction > 0
+            ):
+                raise InvalidExperimentSpec(
+                    "isolation 'si'/'ssi' currently covers single-group "
+                    "commits only; cross_group_fraction and queue_fraction "
+                    "must be 0 (the 2PC and queue layers still validate "
+                    "against 1SR)"
+                )
 
     def scaled(self, n_transactions: int) -> "ExperimentSpec":
         """The same cell with a smaller transaction budget (for CI runs)."""
@@ -74,13 +108,11 @@ def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[Workload
     A pure function of ``(spec, seed)`` — the sharded multiprocessing mode
     rebuilds the identical world in every worker process from these two
     values, so everything here must derive from them alone.
+
+    Option conflicts (retention × invariants, open-loop × shards) are the
+    spec's own ``__post_init__`` business — any spec that reaches this
+    function already passed them.
     """
-    if not spec.retain_outcomes and spec.check_invariants:
-        raise ValueError(
-            "retain_outcomes=False discards the per-transaction outcomes "
-            "the invariant suite reads; set check_invariants=False for "
-            "aggregate-only runs"
-        )
     cluster = Cluster(replace(spec.cluster, seed=seed))
     if spec.workload.open_loop:
         if spec.per_datacenter_instances:
@@ -212,6 +244,10 @@ def finish_run(
             )
             for result in results
         }
+    # Under snapshot isolation the coordinator classified the MVSG cycles
+    # during check_invariants_all; surface the per-kind counts on the run's
+    # metrics (empty dict under 1sr/ssi, and when invariants are off).
+    metrics.anomalies = cluster.anomaly_counts()
     stats = cluster.lane_profile()
     lane_profile = None
     if stats is not None:

@@ -400,6 +400,13 @@ class RunMetrics:
     n_transactions: int = 0
     commits: int = 0
     aborts_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Classified serializability anomalies the run admitted, ``{kind:
+    #: count}`` sorted by kind (write_skew / read_only_anomaly / other).
+    #: Non-empty only under ``isolation="si"`` — every other level treats a
+    #: cycle as an invariant violation, not a statistic.  Filled by the
+    #: harness (:func:`repro.harness.experiment.finish_run`) from the
+    #: cluster's classifier pass, not by the outcome folds below.
+    anomalies: dict[str, int] = field(default_factory=dict)
     commits_by_round: dict[int, int] = field(default_factory=dict)
     latency_by_round: dict[int, float] = field(default_factory=dict)
     #: Every latency family reports the full summary (mean + p50/p95/p99/
@@ -603,6 +610,13 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
     result.aborts_by_reason = {
         reason: round(fmean(t.aborts_by_reason.get(reason, 0) for t in trials))
         for reason in sorted(reasons)
+    }
+    # Anomaly means round *up*: a cell that manufactured any anomaly in any
+    # trial must never average down to a clean-looking zero.
+    kinds = {kind for t in trials for kind in t.anomalies}
+    result.anomalies = {
+        kind: math.ceil(fmean(t.anomalies.get(kind, 0) for t in trials))
+        for kind in sorted(kinds)
     }
     rounds = {r for t in trials for r in t.commits_by_round}
     result.commits_by_round = {

@@ -11,9 +11,22 @@ from repro.harness.metrics import RunMetrics
 
 
 def _fmt(value: float, digits: int = 1) -> str:
+    """A number to ``digits`` places, or ``—`` for NaN.
+
+    Empty latency families (e.g. a run that committed nothing) carry NaN
+    percentiles; the tables render those as an em dash, never the literal
+    string ``nan``.
+    """
     if value != value:  # NaN
-        return "-"
+        return "—"
     return f"{value:.{digits}f}"
+
+
+def _pct(value: float) -> str:
+    """A rate as ``12.5%``, or a bare ``—`` (no percent sign) for NaN."""
+    if value != value:  # NaN
+        return "—"
+    return f"{100 * value:.1f}%"
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -74,6 +87,19 @@ def _queue_cell(metrics: RunMetrics) -> str:
     return cell
 
 
+def _anomaly_cell(metrics: RunMetrics) -> str:
+    """Classified anomalies as ``write_skew:3 ...``, or ``-`` when none.
+
+    Non-empty only under snapshot isolation, where the serializability
+    checker classifies MVSG cycles instead of failing the run.
+    """
+    if not metrics.anomalies:
+        return "-"
+    return " ".join(
+        f"{kind}:{count}" for kind, count in sorted(metrics.anomalies.items())
+    )
+
+
 def _round_histogram(metrics: RunMetrics, max_rounds: int = 4) -> str:
     """Commits per promotion round as ``r0:312 r1:74 r2:21 ...``."""
     if not metrics.commits_by_round:
@@ -97,6 +123,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
         "by promotion round", "lat ms (commit)", "lat ms (all)",
         "p99", "p999",
         "combined", "max promo", "xgroup", "queue", "aborts by reason",
+        "anomalies",
     ]
     rows = []
     for result in results:
@@ -106,7 +133,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             metrics.protocol,
             str(metrics.n_transactions),
             str(metrics.commits),
-            _fmt(100 * metrics.commit_rate) + "%",
+            _pct(metrics.commit_rate),
             _round_histogram(metrics),
             _fmt(metrics.mean_commit_latency_ms),
             _fmt(metrics.mean_all_latency_ms),
@@ -117,6 +144,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             _cross_group_cell(metrics),
             _queue_cell(metrics),
             _abort_histogram(metrics),
+            _anomaly_cell(metrics),
         ])
     table = format_table(headers, rows)
     if title:
@@ -150,7 +178,7 @@ def format_open_loop(results: list[ExperimentResult], title: str = "") -> str:
             str(stats.offered),
             str(stats.admitted),
             str(stats.dropped),
-            _fmt(100 * stats.drop_rate) + "%",
+            _pct(stats.drop_rate),
             str(metrics.commits),
             _fmt(metrics.goodput_per_s),
             _fmt(metrics.commit_latency.p50_ms),
@@ -176,7 +204,7 @@ def format_per_instance(result: ExperimentResult, title: str = "") -> str:
             metrics.protocol,
             str(metrics.n_transactions),
             str(metrics.commits),
-            _fmt(100 * metrics.commit_rate) + "%",
+            _pct(metrics.commit_rate),
             _fmt(metrics.mean_commit_latency_ms),
         ])
     table = format_table(headers, rows)

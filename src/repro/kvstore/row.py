@@ -7,6 +7,11 @@ latest version), which makes attribute reads at a timestamp O(log n) in the
 number of versions with no per-attribute chain walking.  This is equivalent
 to BigTable/HBase per-column versioning for every access pattern the
 transaction tier performs.
+
+Because every version is immutable and timestamped by log position, a read
+at a past timestamp is a consistent snapshot for free — the property the
+snapshot-isolation commit path (``isolation="si"``/``"ssi"``) leans on
+without any additions here.
 """
 
 from __future__ import annotations

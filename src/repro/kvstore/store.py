@@ -5,6 +5,12 @@ atomically by construction — exactly the atomicity contract §2.2 demands of
 the key-value store.  The Paxos acceptor (Algorithm 1) performs *all* of its
 state transitions through :meth:`check_and_write`, so the conditional-write
 primitive is genuinely load-bearing in this reproduction, not decorative.
+
+:meth:`MultiVersionStore.read` at a timestamp is also the *snapshot read*
+every isolation level shares (``isolation`` axis, :mod:`repro.config`): a
+transaction pins its read position at begin and every read resolves against
+that prefix of versions.  1SR, SI, and SSI differ only in commit-time
+validation — none of them needs a different read primitive.
 """
 
 from __future__ import annotations

@@ -145,6 +145,7 @@ class AbortReason(enum.Enum):
     SERVICE_UNAVAILABLE = "service_unavailable"  # no service answered begin/read
     CROSS_GROUP = "cross_group"              # pinned txn touched another group
     PREPARE_FAILED = "prepare_failed"        # 2PC: a participant group's prepare lost
+    WRITE_CONFLICT = "write_conflict"        # SI/SSI: lost first-committer-wins
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -23,15 +23,30 @@ Three procedures:
   (pump crashes) reduced to byte-identical shadows.  This is the eventual
   half of the paper's trade-off: queue transactions give up the atomic
   visibility of 2PC, never the integrity of the deferred writes.
+* :func:`classify_anomalies` — the classifier behind the snapshot-isolation
+  axis: instead of pass/fail, name each non-serializable phenomenon in the
+  history using the taxonomy of "A Critique of Snapshot Isolation"
+  (arXiv:2405.18393) — *write skew* (a mutual anti-dependency pair),
+  *read-only anomaly* (a cycle through a read-only transaction), *other*
+  (any remaining cycle).
 """
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass
 from itertools import permutations
 from typing import Mapping
 
+import networkx as nx
+
 from repro.core.queues import StreamSend, enumerate_sends
-from repro.serializability.graph import build_mvsg, find_cycle, serial_order_from_graph
+from repro.serializability.graph import (
+    EdgeLabels,
+    build_mvsg,
+    find_cycle,
+    serial_order_from_graph,
+)
 from repro.serializability.history import INITIAL, HistoryTxn, MVHistory, serial_reads_from
 from repro.wal.entry import LogEntry
 
@@ -49,6 +64,144 @@ def is_one_copy_serializable(history: MVHistory) -> tuple[bool, list[str] | None
     if cycle is None:
         return True, None
     return False, cycle
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One classified non-serializable phenomenon in an observed history.
+
+    ``kind`` is one of ``"write_skew"``, ``"read_only_anomaly"``,
+    ``"other"``.  ``cycle`` lists the member transactions in cycle order
+    (without repeating the first).  ``description`` is a deterministic,
+    byte-stable sentence — the tests pin it, so reports never drift.
+    """
+
+    kind: str
+    cycle: tuple[str, ...]
+    description: str
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """Every classified anomaly of one history, deterministically ordered."""
+
+    anomalies: tuple[Anomaly, ...]
+
+    @property
+    def serializable(self) -> bool:
+        """True iff the history admitted no anomaly (MVSG acyclic)."""
+        return not self.anomalies
+
+    def counts(self) -> dict[str, int]:
+        """``{kind: count}``, sorted by kind — the metrics/report shape."""
+        tally = Counter(anomaly.kind for anomaly in self.anomalies)
+        return dict(sorted(tally.items()))
+
+
+def _shortest_cycle_through(graph: nx.DiGraph, node: str) -> tuple[str, ...]:
+    """The shortest cycle through *node*, as a node tuple starting at it.
+
+    *node* must lie in a non-trivial strongly connected component of
+    *graph*.  Successors are scanned in sorted order and ties break on the
+    path tuple itself, so the result is deterministic for a given history.
+    """
+    best: tuple[tuple[int, tuple[str, ...]], tuple[str, ...]] | None = None
+    for successor in sorted(graph.successors(node)):
+        try:
+            path = nx.shortest_path(graph, successor, node)
+        except nx.NetworkXNoPath:  # pragma: no cover - SCC guarantees a path
+            continue
+        candidate = (node, *path[:-1])
+        key = (len(candidate), candidate)
+        if best is None or key < best[0]:
+            best = (key, candidate)
+    assert best is not None, f"{node} is not on any cycle"
+    return best[1]
+
+
+def classify_anomalies(history: MVHistory) -> AnomalyReport:
+    """Name every non-serializable phenomenon in *history*.
+
+    Builds the labelled MVSG once and walks its non-trivial strongly
+    connected components (every cycle lives in exactly one, and the initial
+    transaction ``⊥`` never does — it has no in-edges).  Per component,
+    in deterministic order:
+
+    * every mutual anti-dependency pair — both edges justified by ``rw``
+      labels — is a **write skew**: each transaction overwrote an item the
+      other had read from its snapshot, the canonical SI anomaly;
+    * every read-only member is a **read-only anomaly**: the component's
+      writers could be serialized, but this reader observed a snapshot no
+      serial order of them explains (Fekete et al.'s surprise, via
+      arXiv:2405.18393);
+    * a component explained by neither yields one **other** anomaly
+      carrying a concrete cycle.
+
+    An empty report *is* the MVSG pass verdict:
+    ``classify_anomalies(h).serializable`` agrees with
+    :func:`is_one_copy_serializable` by construction.
+    """
+    history.validate()
+    labels: EdgeLabels = {}
+    graph = build_mvsg(history, labels=labels)
+    anomalies: list[Anomaly] = []
+    components = [
+        component
+        for component in nx.strongly_connected_components(graph)
+        if len(component) > 1
+    ]
+    for component in sorted(components, key=lambda nodes: min(nodes)):
+        subgraph = graph.subgraph(component)
+        explained = False
+        mutual_pairs = sorted({
+            tuple(sorted((u, v)))
+            for u, v in subgraph.edges
+            if subgraph.has_edge(v, u)
+        })
+        for a, b in mutual_pairs:
+            forward = sorted(
+                item for kind, item in labels.get((a, b), ()) if kind == "rw"
+            )
+            backward = sorted(
+                item for kind, item in labels.get((b, a), ()) if kind == "rw"
+            )
+            if forward and backward:
+                explained = True
+                anomalies.append(Anomaly(
+                    kind="write_skew",
+                    cycle=(a, b),
+                    description=(
+                        f"write skew: {a} and {b} overwrote each other's "
+                        f"snapshot reads ({b} overwrote {a}'s read of "
+                        f"{forward}, {a} overwrote {b}'s read of {backward})"
+                    ),
+                ))
+        for tid in sorted(component):
+            txn = history.transactions.get(tid)
+            if txn is None or txn.writes:
+                continue
+            cycle = _shortest_cycle_through(subgraph, tid)
+            explained = True
+            anomalies.append(Anomaly(
+                kind="read_only_anomaly",
+                cycle=cycle,
+                description=(
+                    f"read-only anomaly: {tid} wrote nothing yet observed a "
+                    f"snapshot no serial order explains "
+                    f"(cycle {' -> '.join((*cycle, cycle[0]))})"
+                ),
+            ))
+        if not explained:
+            cycle = tuple(find_cycle(subgraph) or sorted(component))
+            anomalies.append(Anomaly(
+                kind="other",
+                cycle=cycle,
+                description=(
+                    f"non-serializable cycle with no named pattern: "
+                    f"{' -> '.join((*cycle, cycle[0]))}"
+                ),
+            ))
+    return AnomalyReport(anomalies=tuple(anomalies))
 
 
 def equivalent_serial_order(history: MVHistory) -> list[str]:

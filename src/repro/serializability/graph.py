@@ -35,7 +35,19 @@ def _node(tid: str | None) -> str:
     return INITIAL_NODE if tid is INITIAL else tid
 
 
-def build_mvsg(history: MVHistory) -> nx.DiGraph:
+#: Why an MVSG edge exists: ``"wr"`` reads-from (writer → reader), ``"ww"``
+#: version order (earlier writer → later writer), ``"rw"`` anti-dependency
+#: (reader → the writer that overwrote its read).
+EdgeKind = str
+
+#: Per-edge provenance: ``{(u, v): {(kind, item), ...}}``.  One edge may
+#: carry several justifications (different items, different kinds); the
+#: anomaly classifier needs them all — a cycle is *write skew* exactly when
+#: every hop can be explained by an anti-dependency.
+EdgeLabels = dict[tuple[str, str], set[tuple[EdgeKind, object]]]
+
+
+def build_mvsg(history: MVHistory, labels: EdgeLabels | None = None) -> nx.DiGraph:
     """Build MVSG(H, <<) for the history's own version order.
 
     The version index of each item is materialized once as a dict (writer →
@@ -43,11 +55,19 @@ def build_mvsg(history: MVHistory) -> nx.DiGraph:
     scan) per (read, other-version) pair — the naive form is cubic in the
     number of versions of a hot item, which dominated invariant-checking
     time on single-row contention workloads.
+
+    Pass a *labels* dict to additionally record why each edge exists (kind
+    and item, see :data:`EdgeLabels`) — the anomaly classifier's input.
+    The pass/fail checkers skip the bookkeeping entirely.
     """
     graph = nx.DiGraph()
     graph.add_node(INITIAL_NODE)
     for tid in history.transactions:
         graph.add_node(tid)
+
+    def label(u: str, v: str, kind: EdgeKind, item) -> None:
+        if labels is not None and u != v:
+            labels.setdefault((u, v), set()).add((kind, item))
 
     # {item: {writer: version index}}, the initial version at index 0.
     index_of: dict[object, dict[str | None, int]] = {}
@@ -72,6 +92,7 @@ def build_mvsg(history: MVHistory) -> nx.DiGraph:
             writer_node = _node(writer)
             if writer_node != reader_tid:
                 graph.add_edge(writer_node, reader_tid)
+                label(writer_node, reader_tid, "wr", item)
             # Order edges against every other version of the item.
             for other, other_version in table.items():
                 if other == writer or other == reader_tid:
@@ -80,8 +101,10 @@ def build_mvsg(history: MVHistory) -> nx.DiGraph:
                     continue
                 if other_version < read_version:
                     graph.add_edge(_node(other), writer_node)
+                    label(_node(other), writer_node, "ww", item)
                 elif other_version > read_version:
                     graph.add_edge(reader_tid, _node(other))
+                    label(reader_tid, _node(other), "rw", item)
     graph.remove_edges_from(nx.selfloop_edges(graph))
     return graph
 

@@ -41,7 +41,7 @@ path does.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Any, Mapping
 
 from repro.model import Item, Transaction, TransactionOutcome, TransactionStatus
@@ -354,16 +354,116 @@ def check_l3_prefix_serializable(
     return violations
 
 
+def check_snapshot_reads(
+    replicas: list[LogReplica],
+    initial_image: Mapping[Item, Any] | None = None,
+    decisions: Mapping[str, bool] | None = None,
+    log: Mapping[int, LogEntry] | None = None,
+    shadows: set[int] | None = None,
+) -> list[str]:
+    """(SI) the snapshot-isolation obligations, replacing (L3) under ``si``.
+
+    Every committed transaction must have (a) read its *start-timestamp
+    snapshot* — each ``read_snapshot`` value equals the one-copy state at
+    its ``read_position``, not at its commit position — and (b) won
+    *first-committer-wins*: no other transaction wrote an overlapping
+    write-set item at a position strictly inside its snapshot-to-commit
+    window.  Stale reads of items written inside the window are exactly
+    what SI admits, so unlike (L3) they are not violations here; the MVSG
+    classifier names the anomalies they cause instead.
+
+    Blind write-write overlap *within* one combined entry is tolerated: the
+    combination rule already forbids a member from reading a co-member's
+    writes, so the overlap is between blind writers, which member order
+    serializes (the same argument that makes it harmless under 1SR).
+    ``queue_apply`` entries are skipped outright — deferred sends are
+    applied asynchronously under the exactly-once delivery invariant, not
+    under snapshot validation (and SI runs currently exclude queue traffic
+    at the spec level).
+    """
+    violations: list[str] = []
+    if log is None:
+        log = global_log(replicas)
+    if shadows is None:
+        shadows = queue_shadow_positions(log)
+    positions = sorted(log)
+    expected = 1
+    for position in positions:
+        if position != expected:
+            violations.append(
+                f"(SI) log has a gap: expected position {expected}, found {position}"
+            )
+            break
+        expected += 1
+    initial = dict(initial_image or {})
+    # One pass: versions[item] = ([position, ...], [value, ...]) in log order.
+    versions: dict[Item, tuple[list[int], list[Any]]] = {}
+    for position in positions:
+        if position in shadows:
+            continue
+        for txn in effective_transactions(log[position], decisions):
+            for item, value in txn.writes:
+                lists = versions.get(item)
+                if lists is None:
+                    lists = versions[item] = ([], [])
+                lists[0].append(position)
+                lists[1].append(value)
+    for position in positions:
+        if position in shadows or log[position].kind == "queue_apply":
+            continue
+        for txn in effective_transactions(log[position], decisions):
+            if txn.read_position >= position:
+                violations.append(
+                    f"(SI) {txn.tid} at position {position} has read_position "
+                    f"{txn.read_position} >= its commit position"
+                )
+                continue
+            for item, recorded_value in txn.read_snapshot:
+                lists = versions.get(item)
+                value = initial.get(item)
+                if lists is not None:
+                    index = bisect_right(lists[0], txn.read_position) - 1
+                    if index >= 0:
+                        value = lists[1][index]
+                if value != recorded_value:
+                    violations.append(
+                        f"(SI) {txn.tid} at read position {txn.read_position} "
+                        f"read {item}={recorded_value!r} but the snapshot "
+                        f"there is {value!r}"
+                    )
+            for item in sorted(txn.write_set):
+                lists = versions.get(item)
+                if lists is None:
+                    continue
+                low = bisect_right(lists[0], txn.read_position)
+                high = bisect_left(lists[0], position)
+                if low < high:
+                    violations.append(
+                        f"(SI) {txn.tid} at position {position} wrote {item} "
+                        f"also written at position {lists[0][low]} inside its "
+                        f"snapshot window (first-committer-wins)"
+                    )
+    return violations
+
+
 def run_all_checks(
     replicas: list[LogReplica],
     outcomes: list[TransactionOutcome],
     initial_image: Mapping[Item, Any] | None = None,
     decisions: Mapping[str, bool] | None = None,
+    isolation: str = "1sr",
 ) -> None:
     """Run every checker; raise :class:`InvariantViolation` on any failure.
 
     ``decisions`` resolves 2PC prepare entries (gtid → committed); pass the
     post-recovery map when the run produced cross-group transactions.
+
+    ``isolation`` selects the replay obligation: ``"1sr"`` and ``"ssi"``
+    runs owe the full (L3) prefix-serializability replay (SSI's read-set
+    validation must re-earn it); ``"si"`` runs owe the weaker
+    :func:`check_snapshot_reads` contract instead — stale reads inside the
+    snapshot window are admitted by construction there, and the MVSG
+    classifier names the anomalies they cause.
 
     The merged log and the queue-shadow set are computed once and shared by
     every checker — each used to rebuild them from the replicas on its own,
@@ -371,13 +471,19 @@ def run_all_checks(
     """
     log = global_log(replicas)
     shadows = queue_shadow_positions(log)
+    if isolation == "si":
+        replay = check_snapshot_reads(
+            replicas, initial_image, decisions, log=log, shadows=shadows
+        )
+    else:
+        replay = check_l3_prefix_serializable(
+            replicas, initial_image, decisions, log=log, shadows=shadows
+        )
     violations = (
         check_r1_replica_agreement(replicas)
         + check_l1_only_committed(replicas, outcomes, log=log)
         + check_l2_single_position(replicas, log=log, shadows=shadows)
-        + check_l3_prefix_serializable(
-            replicas, initial_image, decisions, log=log, shadows=shadows
-        )
+        + replay
         + check_read_only_consistency(
             replicas, outcomes, initial_image, decisions, log=log, shadows=shadows
         )

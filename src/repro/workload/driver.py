@@ -14,6 +14,10 @@ builds one instance per datacenter, targeting one shared entity group
 (``shared_group=True``, the Figure-8 setup) or fanning out over the
 cluster placement's groups (``shared_group=False``) — an explicit parameter
 rather than a config default.
+
+The drivers are isolation-level agnostic: each thread's client inherits the
+cluster's ``isolation`` setting through :meth:`repro.cluster.Cluster.add_client`,
+so the same workload measures 1SR, SI, and SSI on identical seeds.
 """
 
 from __future__ import annotations

@@ -56,6 +56,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.client import TransactionClient
 
 
+# Re-exported for callers that reach for it alongside the driver; the
+# canonical home is repro.errors (the dependency-free leaf all three
+# rejection layers import).
+from repro.errors import OPEN_LOOP_SHARDS_ERROR  # noqa: E402
+
+
 # ----------------------------------------------------------------------
 # Arrival processes
 # ----------------------------------------------------------------------
@@ -312,11 +318,10 @@ class OpenLoopDriver:
         if not workload.open_loop:
             raise ValueError("OpenLoopDriver needs workload.open_loop=True")
         if not cluster.shard_map.single_lane:
-            raise ValueError(
-                "the open-loop engine runs on single-lane deployments "
-                "(shards=1) for now; pooled clients roam groups, which the "
-                "sharded kernel's lane pinning cannot express"
-            )
+            # Backstop only: ExperimentSpec validation (and the CLI guard)
+            # reject this combination before any cluster exists, with the
+            # same message.
+            raise ValueError(OPEN_LOOP_SHARDS_ERROR)
         self.cluster = cluster
         self.workload = workload
         self.protocol = protocol

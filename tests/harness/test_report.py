@@ -1,10 +1,11 @@
 """Tests for table rendering."""
 
 from repro.harness.experiment import ExperimentResult, ExperimentSpec
-from repro.harness.metrics import RunMetrics
+from repro.harness.metrics import OpenLoopStats, RunMetrics
 from repro.harness.report import (
     format_cells,
     format_comparison,
+    format_open_loop,
     format_per_instance,
     format_table,
 )
@@ -47,6 +48,45 @@ class TestFormatCells:
     def test_title_prepended(self):
         text = format_cells([fake_result()], title="Figure X")
         assert text.startswith("Figure X\n")
+
+
+class TestEmptyFamiliesRenderDashes:
+    """Empty latency families must render ``—``, never the literal ``nan``."""
+
+    def empty_result(self):
+        metrics = RunMetrics.from_outcomes([], protocol="paxos")
+        metrics.open_loop = OpenLoopStats()
+        spec = ExperimentSpec(name="empty-cell")
+        return ExperimentResult(spec=spec, metrics=metrics,
+                                per_instance={"V1": metrics})
+
+    def test_format_cells_never_prints_nan(self):
+        text = format_cells([self.empty_result()])
+        assert "nan" not in text
+        assert "—" in text
+
+    def test_format_open_loop_never_prints_nan(self):
+        text = format_open_loop([self.empty_result()])
+        assert "nan" not in text
+        assert "—" in text
+        # Rate cells drop the percent suffix too — no dangling ``—%``.
+        assert "—%" not in text
+
+    def test_format_per_instance_never_prints_nan(self):
+        text = format_per_instance(self.empty_result())
+        assert "nan" not in text
+
+
+class TestAnomalyColumn:
+    def test_clean_run_shows_placeholder(self):
+        text = format_cells([fake_result()])
+        assert "anomalies" in text
+
+    def test_counts_render_sorted(self):
+        result = fake_result()
+        result.metrics.anomalies = {"write_skew": 2, "other": 1}
+        text = format_cells([result])
+        assert "other:1 write_skew:2" in text
 
 
 class TestFormatPerInstance:

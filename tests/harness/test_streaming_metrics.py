@@ -162,6 +162,6 @@ class TestClosedLoopStreaming:
         assert streaming.metrics.commits_by_round == retained.metrics.commits_by_round
 
     def test_streaming_with_invariants_is_rejected(self):
-        spec = replace(closed_spec(), check_invariants=True)
+        # The conflict is caught at spec construction, not at run time.
         with pytest.raises(ValueError, match="retain_outcomes"):
-            run_once(spec, seed=0)
+            replace(closed_spec(), check_invariants=True)

@@ -79,6 +79,64 @@ class TestRunCommand:
         assert "r1:" not in out  # promotions capped at 0 → no round-1 commits
 
 
+class TestIsolationFlag:
+    def test_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--isolation", "read-committed"])
+
+    def test_si_run_names_cell_and_reports_anomalies(self, capsys):
+        code = main([
+            "run", "--transactions", "60", "--threads", "8", "--rate", "10",
+            "--ops", "4", "--attributes", "4", "--protocol", "paxos",
+            "--isolation", "si",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VVV/paxos/si" in out
+        assert "write_skew" in out
+
+    def test_si_rejects_leased_leader(self):
+        with pytest.raises(SystemExit, match="leased"):
+            main(["run", "--isolation", "si", "--protocol", "leased-leader",
+                  "--transactions", "2"])
+
+    def test_si_rejects_queue_and_cross_group_traffic(self):
+        with pytest.raises(SystemExit, match="single-group"):
+            main(["run", "--isolation", "ssi", "--groups", "2",
+                  "--cross-group-fraction", "0.2", "--transactions", "2"])
+        with pytest.raises(SystemExit, match="single-group"):
+            main(["run", "--isolation", "si", "--groups", "2",
+                  "--queue-fraction", "0.2", "--transactions", "2"])
+
+    def test_check_classifies_under_si(self, capsys):
+        code = main([
+            "check", "--transactions", "60", "--threads", "8", "--rate", "10",
+            "--ops", "4", "--attributes", "4", "--protocol", "paxos",
+            "--isolation", "si",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "first-committer-wins: OK" in out
+        assert "classified anomalies (expected under si):" in out
+
+    def test_check_ssi_keeps_full_oracle(self, capsys):
+        code = main([
+            "check", "--transactions", "20", "--threads", "4", "--rate", "10",
+            "--ops", "4", "--attributes", "4", "--protocol", "paxos",
+            "--isolation", "ssi",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MVSG 1SR: OK" in out
+
+
+class TestOpenLoopGuards:
+    def test_open_loop_shards_guard_quotes_shared_message(self, capsys):
+        with pytest.raises(SystemExit, match="single-lane"):
+            main(["run", "--open-loop", "--shards", "2", "--groups", "2",
+                  "--transactions", "2"])
+
+
 class TestCheckCommand:
     def test_clean_run_reports_ok(self, capsys):
         code = main([

@@ -228,18 +228,17 @@ def test_open_loop_rejects_cross_group_fractions():
 
 
 def test_open_loop_rejects_sharded_clusters():
-    spec = open_spec(cluster=ClusterConfig(
-        placement=PlacementConfig.ranged(4, key_universe=8),
-        shards=2, engine="sharded",
-    ))
+    # Caught when the spec is built — no cluster is ever constructed.
     with pytest.raises(ValueError, match="single-lane"):
-        run_once(spec, seed=0)
+        open_spec(cluster=ClusterConfig(
+            placement=PlacementConfig.ranged(4, key_universe=8),
+            shards=2, engine="sharded",
+        ))
 
 
 def test_streaming_rejects_invariant_checking():
-    spec = replace(open_spec(), check_invariants=True)
     with pytest.raises(ValueError, match="retain_outcomes"):
-        run_once(spec, seed=0)
+        replace(open_spec(), check_invariants=True)
 
 
 def test_open_loop_rejects_per_datacenter():
