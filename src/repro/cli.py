@@ -25,8 +25,14 @@ import sys
 
 from repro.config import (
     ClusterConfig,
+    FaultProfile,
+    FaultScheduleConfig,
+    LossWindow,
+    OutageWindow,
     PlacementConfig,
     ProtocolConfig,
+    PumpCrash,
+    PartitionWindow,
     StoreConfig,
     WorkloadConfig,
 )
@@ -144,13 +150,137 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--aggregate-only", action="store_true",
                         help="retain no per-transaction outcomes: streaming "
                              "histograms only (disables invariant checking)")
+    parser.add_argument("--retry-attempts", type=int, default=3,
+                        help="client-side retries after a failed service "
+                             "sweep (default 3)")
+    parser.add_argument("--retry-backoff-cap-ms", type=float, default=40.0,
+                        help="cap on the exponential retry backoff; the "
+                             "default equals the base, i.e. the historic "
+                             "flat 0-40 ms jitter")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-transaction deadline budget; retries stop "
+                             "and the transaction aborts as TIMEOUT once "
+                             "exceeded (default: no deadline)")
+    parser.add_argument("--outage", action="append", default=[],
+                        metavar="DC:START:DUR",
+                        help="take a datacenter down for a window of "
+                             "simulated ms (repeatable)")
+    parser.add_argument("--partition", action="append", default=[],
+                        metavar="DCA:DCB:START:DUR",
+                        help="sever one inter-datacenter link for a window "
+                             "(repeatable)")
+    parser.add_argument("--loss-episode", action="append", default=[],
+                        metavar="P:START:DUR",
+                        help="raise the message-loss probability to P for a "
+                             "window (repeatable)")
+    parser.add_argument("--pump-crash", action="append", default=[],
+                        metavar="GROUP:KILL[:RESTART[:POLL]]",
+                        help="kill a group's queue delivery pump at KILL ms, "
+                             "optionally restarting it at RESTART ms with "
+                             "poll interval POLL (repeatable; needs "
+                             "--queue-fraction > 0)")
+    parser.add_argument("--fault-profile", default=None,
+                        metavar="MTTF:MTTR:HORIZON",
+                        help="seed-derived random outage schedule: "
+                             "exponential failures with mean MTTF ms, mean "
+                             "repair MTTR ms, over HORIZON ms (spares the "
+                             "home datacenter)")
+
+
+def _parse_faults(args: argparse.Namespace) -> FaultScheduleConfig:
+    """Build the declarative fault schedule from the repeatable flags.
+
+    Malformed values are a usage error (SystemExit), caught here at parse
+    time; *semantic* errors (unknown datacenter, no pump for the group)
+    surface later as :class:`~repro.errors.FaultScheduleError` once the
+    deployment exists.
+    """
+    def fields(flag: str, value: str, minimum: int, maximum: int) -> list[str]:
+        parts = value.split(":")
+        if not minimum <= len(parts) <= maximum:
+            expected = (str(minimum) if minimum == maximum
+                        else f"{minimum}-{maximum}")
+            raise SystemExit(
+                f"error: {flag} expects {expected} colon-separated fields, "
+                f"got {value!r}"
+            )
+        return parts
+
+    def number(flag: str, raw: str) -> float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"error: {flag}: {raw!r} is not a number"
+            ) from None
+
+    try:
+        outages = tuple(
+            OutageWindow(dc, number("--outage", start), number("--outage", dur))
+            for dc, start, dur in (
+                fields("--outage", value, 3, 3) for value in args.outage
+            )
+        )
+        partitions = tuple(
+            PartitionWindow(
+                dc_a, dc_b,
+                number("--partition", start), number("--partition", dur),
+            )
+            for dc_a, dc_b, start, dur in (
+                fields("--partition", value, 4, 4) for value in args.partition
+            )
+        )
+        losses = tuple(
+            LossWindow(
+                number("--loss-episode", p),
+                number("--loss-episode", start),
+                number("--loss-episode", dur),
+            )
+            for p, start, dur in (
+                fields("--loss-episode", value, 3, 3)
+                for value in args.loss_episode
+            )
+        )
+        crashes = []
+        for value in args.pump_crash:
+            parts = fields("--pump-crash", value, 2, 4)
+            crashes.append(PumpCrash(
+                group=parts[0],
+                kill_ms=number("--pump-crash", parts[1]),
+                restart_ms=(number("--pump-crash", parts[2])
+                            if len(parts) > 2 else None),
+                restart_poll_ms=(number("--pump-crash", parts[3])
+                                 if len(parts) > 3 else None),
+            ))
+        profile = None
+        if args.fault_profile is not None:
+            mttf, mttr, horizon = fields(
+                "--fault-profile", args.fault_profile, 3, 3
+            )
+            profile = FaultProfile(
+                mttf_ms=number("--fault-profile", mttf),
+                mttr_ms=number("--fault-profile", mttr),
+                horizon_ms=number("--fault-profile", horizon),
+            )
+    except ValueError as error:  # the config dataclasses validate ranges
+        raise SystemExit(f"error: {error}") from None
+    return FaultScheduleConfig(
+        outages=outages, partitions=partitions, loss_windows=losses,
+        pump_crashes=tuple(crashes), profile=profile,
+    )
 
 
 def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     protocol_config = ProtocolConfig(
         leader_fastpath=not args.no_fastpath,
         max_promotions=args.max_promotions,
+        retry_attempts=args.retry_attempts,
+        retry_backoff_cap_ms=args.retry_backoff_cap_ms,
+        deadline_ms=args.deadline_ms,
     )
+    faults = _parse_faults(args)
+    if faults.pump_crashes and args.queue_fraction <= 0:
+        raise SystemExit("error: --pump-crash needs --queue-fraction > 0")
     n_groups = args.groups
     if n_groups < 1:
         raise SystemExit(f"error: --groups must be >= 1, got {n_groups}")
@@ -224,6 +354,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         name += f"/{n_groups}g"
     if args.open_loop:
         name += f"/open-{args.arrival}"
+    name += faults.cell_suffix()
     return ExperimentSpec(
         name=name,
         cluster=ClusterConfig(
@@ -237,6 +368,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
             engine=args.engine,
             shard_workers=args.shard_workers,
             isolation=args.isolation,
+            faults=faults,
         ),
         workload=WorkloadConfig(
             n_transactions=args.transactions,
@@ -289,6 +421,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(format_open_loop([result], title="open loop"))
+    if result.metrics.availability is not None:
+        from repro.harness.report import format_availability
+
+        print()
+        print(format_availability([result], title="availability"))
     if args.profile and result.lane_profile is not None:
         from repro.harness.profiling import format_lane_profile
 

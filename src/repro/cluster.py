@@ -133,6 +133,10 @@ class Cluster:
         #: pass (snapshot-isolation runs only; empty otherwise).  Sorted
         #: deterministically so metrics digests agree serial vs parallel.
         self._anomalies: "list[Anomaly]" = []
+        #: Network-fault windows installed by a declarative schedule, as
+        #: sorted ``(start_ms, end_ms)`` pairs; the availability report
+        #: aligns its timeline against these.
+        self.fault_windows: list[tuple[float, float]] = []
 
         group_homes = dict(self.config.placement.group_homes or {})
         for group, dc in group_homes.items():

@@ -144,6 +144,29 @@ class ProtocolConfig:
         only requires *eventual* delivery; a longer interval trades delivery
         lag for fewer pump wake-ups (and, on the sharded kernel, wider
         promise-stretched windows between polls).
+    retry_attempts:
+        Extra client-side failover sweeps after the first: a ``begin`` or
+        ``read`` whose full sweep over the datacenters came back empty backs
+        off and retries this many more times before raising
+        :class:`~repro.errors.ServiceUnavailable`.  0 restores the historic
+        fail-on-first-sweep behaviour.  Retries draw backoff jitter from a
+        dedicated RNG stream only when a sweep actually fails, so fault-free
+        runs are bit-identical at any setting.
+    retry_backoff_cap_ms / retry_multiplier:
+        Capped exponential backoff shared by the client retry loop, the 2PC
+        coordinator's ballot rounds, and the queue pumps' append walks:
+        attempt ``k`` sleeps ``uniform(0, min(cap, retry_backoff_ms *
+        multiplier**k))``.  The default cap equals ``retry_backoff_ms``, so
+        every attempt draws the historic flat ``uniform(0,
+        retry_backoff_ms)`` — raise the cap to let brown-out runs spread
+        their retries out.
+    deadline_ms:
+        Per-transaction deadline budget, measured from the transaction's
+        begin time.  A client retry that would start past the budget raises
+        :class:`~repro.errors.DeadlineExceeded` instead, which the workload
+        drivers record as a ``timeout`` abort (a *typed* terminal outcome,
+        distinct from ``service_unavailable``).  ``None`` (default) never
+        gives up on time.
     """
 
     timeout_ms: float = 2000.0
@@ -156,6 +179,10 @@ class ProtocolConfig:
     leader_fastpath: bool = True
     max_commit_attempts: int = 50
     queue_poll_ms: float = 25.0
+    retry_attempts: int = 3
+    retry_backoff_cap_ms: float = 40.0
+    retry_multiplier: float = 2.0
+    deadline_ms: float | None = None
 
     def without_cp(self) -> "ProtocolConfig":
         """This config with both CP enhancements off (plain Paxos behaviour)."""
@@ -179,6 +206,168 @@ class StoreConfig:
     def instant(cls) -> "StoreConfig":
         """Zero-latency store for unit tests."""
         return cls(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One whole-datacenter outage: all of *datacenter*'s traffic is dropped
+    during ``[start_ms, start_ms + duration_ms)`` (the EC2-style failure of
+    §1; state is durable, only message delivery stops)."""
+
+    datacenter: str
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.duration_ms < 0:
+            raise ValueError(
+                f"outage window must have start_ms >= 0 and duration_ms >= 0, "
+                f"got start={self.start_ms}, duration={self.duration_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One severed inter-datacenter link (both directions) for a window."""
+
+    datacenter_a: str
+    datacenter_b: str
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.duration_ms < 0:
+            raise ValueError(
+                f"partition window must have start_ms >= 0 and duration_ms "
+                f">= 0, got start={self.start_ms}, duration={self.duration_ms}"
+            )
+        if self.datacenter_a == self.datacenter_b:
+            raise ValueError(
+                f"partition needs two distinct datacenters, got "
+                f"{self.datacenter_a!r} twice"
+            )
+
+
+@dataclass(frozen=True)
+class LossWindow:
+    """A raised Bernoulli message-loss rate for a window, then restored."""
+
+    probability: float
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"loss probability must be in [0,1], got {self.probability}"
+            )
+        if self.start_ms < 0 or self.duration_ms < 0:
+            raise ValueError(
+                f"loss window must have start_ms >= 0 and duration_ms >= 0, "
+                f"got start={self.start_ms}, duration={self.duration_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class PumpCrash:
+    """Kill *group*'s queue delivery pump at ``kill_ms``; optionally restart
+    a fresh pump at ``restart_ms`` (polling at ``restart_poll_ms``, default
+    the protocol's ``queue_poll_ms``).  The restarted pump resumes from the
+    durable watermark and must deduplicate redelivery — the scenario the
+    queue layer exists to survive."""
+
+    group: str
+    kill_ms: float
+    restart_ms: float | None = None
+    restart_poll_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kill_ms < 0:
+            raise ValueError(f"kill_ms must be >= 0, got {self.kill_ms}")
+        if self.restart_ms is not None and self.restart_ms < self.kill_ms:
+            raise ValueError(
+                f"restart_ms ({self.restart_ms}) must not precede kill_ms "
+                f"({self.kill_ms})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A seed-derived random fault schedule (MTTF/MTTR renewal process).
+
+    Expanded deterministically by
+    :func:`repro.failures.schedule.materialize` from the cluster's own RNG
+    registry (stream ``"faults.profile"``): alternating exponential up-times
+    (mean ``mttf_ms``) and down-windows (mean ``mttr_ms``) over
+    ``[0, horizon_ms)``, one victim at a time.  With ``spare_home=True``
+    (default) the home datacenter is never the victim, so every generated
+    outage is majority-preserving on a 3-DC deployment — the Spinnaker-style
+    "minority failure costs a bounded recovery window" regime.
+    """
+
+    mttf_ms: float
+    mttr_ms: float
+    horizon_ms: float
+    kind: Literal["outage", "loss"] = "outage"
+    loss_probability: float = 0.2
+    spare_home: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mttf_ms <= 0 or self.mttr_ms <= 0 or self.horizon_ms <= 0:
+            raise ValueError(
+                "fault profile needs positive mttf_ms, mttr_ms and horizon_ms"
+            )
+        if self.kind not in ("outage", "loss"):
+            raise ValueError(f"fault profile kind must be outage|loss, got {self.kind!r}")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0,1], got {self.loss_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultScheduleConfig:
+    """Declarative fault schedule for one deployment.
+
+    Part of :class:`ClusterConfig`, so it rides the experiment spec into
+    :func:`repro.harness.experiment.prepare_run` — which installs it through
+    the :class:`~repro.failures.injector.FailureInjector` — and, because
+    ``prepare_run`` is a pure function of (spec, seed), the identical
+    schedule materializes in every sharded-mp worker process.  Fixed windows
+    and a random :class:`FaultProfile` compose; datacenter and group names
+    are validated against the actual deployment at install time (the config
+    layer has no topology to check against).
+    """
+
+    outages: tuple[OutageWindow, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    loss_windows: tuple[LossWindow, ...] = ()
+    pump_crashes: tuple[PumpCrash, ...] = ()
+    profile: FaultProfile | None = None
+
+    def is_empty(self) -> bool:
+        return not (
+            self.outages or self.partitions or self.loss_windows
+            or self.pump_crashes or self.profile is not None
+        )
+
+    def cell_suffix(self) -> str:
+        """Short tag for cell names, e.g. ``/faults-1o2l`` — empty when the
+        schedule is."""
+        if self.is_empty():
+            return ""
+        parts = ""
+        if self.outages:
+            parts += f"{len(self.outages)}o"
+        if self.partitions:
+            parts += f"{len(self.partitions)}p"
+        if self.loss_windows:
+            parts += f"{len(self.loss_windows)}l"
+        if self.pump_crashes:
+            parts += f"{len(self.pump_crashes)}k"
+        if self.profile is not None:
+            parts += f"mttf{self.profile.mttf_ms:g}"
+        return f"/faults-{parts}"
 
 
 #: Which simulation kernel a deployment runs on.  ``"global"`` is the
@@ -215,6 +404,9 @@ class ClusterConfig:
     store: StoreConfig = field(default_factory=StoreConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     placement: PlacementConfig = field(default_factory=PlacementConfig)
+    #: Declarative fault schedule, installed by the harness at run start
+    #: (identically on every engine).  Empty by default: no faults.
+    faults: FaultScheduleConfig = field(default_factory=FaultScheduleConfig)
     shards: int = 1
     engine: EngineName = "global"
     #: Worker processes for ``engine="sharded-mp"`` (None: one per group

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.config import IsolationLevel, ProtocolConfig, ProtocolName
+from repro.core.retry import backoff_delay_ms
 from repro.errors import (
     CrossGroupTransaction,
+    DeadlineExceeded,
     ServiceUnavailable,
     TransactionStateError,
 )
@@ -185,6 +187,11 @@ class TransactionClient:
         #: the historic single-service-per-datacenter addressing.
         self.shard_map = shard_map
         self._txn_counter = 0
+        #: Jitter stream for the failover retry loop.  Drawn from only when
+        #: a full service sweep actually failed, so fault-free runs are
+        #: bit-identical whatever the retry settings (creating a named
+        #: stream never perturbs the others — seeds derive per name).
+        self._retry_rng = env.rng.stream(f"client.retry.{name}")
 
     def _make_protocol(self, protocol: ProtocolName):
         # Imported here to keep module import order acyclic.
@@ -286,20 +293,50 @@ class TransactionClient:
         handle = yield from self._begin_group(group, self.env.now)
         return handle
 
+    def _retry_backoff(self, attempt: int, begin_time: float,
+                       operation: str) -> Generator:
+        """Back off before retry *attempt*, or die on the deadline budget.
+
+        The deadline is anchored at the *transaction's* begin time, not the
+        operation's, so a transaction that keeps limping through a brown-out
+        eventually terminates with a typed ``timeout`` instead of wedging
+        its thread on endless sweeps.
+        """
+        deadline = self.config.deadline_ms
+        if deadline is not None:
+            elapsed = self.env.now - begin_time
+            if elapsed >= deadline:
+                raise DeadlineExceeded(operation, elapsed, deadline)
+        yield self.env.timeout(
+            backoff_delay_ms(self._retry_rng, self.config, attempt)
+        )
+
     def _begin_group(self, group: str, begin_time: float) -> Generator:
-        """The ``begin`` exchange for one group (§4 step 1, with failover)."""
+        """The ``begin`` exchange for one group (§4 step 1, with failover).
+
+        Each *sweep* tries every datacenter's service in order; an empty
+        sweep (nobody answered within ``timeout_ms``) backs off with capped
+        exponential jitter and retries, up to ``retry_attempts`` extra
+        sweeps or the transaction's deadline budget — a brown-out degrades
+        into late commits and typed aborts, not hung client threads.
+        """
         request = BeginRequest(group=group)
-        for svc in self.service_names(group):
-            gather = self.node.request(svc, BEGIN, request, timeout_ms=self.config.timeout_ms)
-            responses = yield gather
-            if responses:
-                reply: BeginReply = responses[0].payload
-                return TransactionHandle(
-                    group=group,
-                    read_position=reply.read_position,
-                    leader_dc=reply.leader_dc,
-                    begin_time=begin_time,
+        for attempt in range(self.config.retry_attempts + 1):
+            if attempt:
+                yield from self._retry_backoff(
+                    attempt - 1, begin_time, f"begin {group}"
                 )
+            for svc in self.service_names(group):
+                gather = self.node.request(svc, BEGIN, request, timeout_ms=self.config.timeout_ms)
+                responses = yield gather
+                if responses:
+                    reply: BeginReply = responses[0].payload
+                    return TransactionHandle(
+                        group=group,
+                        read_position=reply.read_position,
+                        leader_dc=reply.leader_dc,
+                        begin_time=begin_time,
+                    )
         raise ServiceUnavailable("begin: no Transaction Service answered")
 
     def _unpinned_handle(self, group: str, begin_time: float) -> TransactionHandle:
@@ -360,15 +397,20 @@ class TransactionClient:
             group=handle.group, row=row, attribute=attribute,
             position=handle.read_position,
         )
-        for svc in self.service_names(handle.group):
-            gather = self.node.request(svc, READ, request, timeout_ms=self.config.timeout_ms)
-            responses = yield gather
-            if responses and responses[0].payload.ok:
-                reply: ReadReply = responses[0].payload
-                handle.read_cache[item] = reply.value
-                handle.read_set.add(item)
-                handle.read_snapshot.append((item, reply.value))
-                return reply.value
+        for attempt in range(self.config.retry_attempts + 1):
+            if attempt:
+                yield from self._retry_backoff(
+                    attempt - 1, handle.begin_time, f"read {item}"
+                )
+            for svc in self.service_names(handle.group):
+                gather = self.node.request(svc, READ, request, timeout_ms=self.config.timeout_ms)
+                responses = yield gather
+                if responses and responses[0].payload.ok:
+                    reply: ReadReply = responses[0].payload
+                    handle.read_cache[item] = reply.value
+                    handle.read_set.add(item)
+                    handle.read_snapshot.append((item, reply.value))
+                    return reply.value
         raise ServiceUnavailable(f"read: no Transaction Service could serve {item}")
 
     def write(self, handle: TransactionHandle | MultiGroupHandle,

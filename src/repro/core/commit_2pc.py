@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.model import AbortReason, Transaction
 from repro.core.commit_basic import BasicPaxosCommit, find_winning_val
+from repro.core.retry import backoff_delay_ms
 from repro.kvstore.txnstatus import decision_group
 from repro.paxos.ballot import Ballot
 from repro.paxos.proposer import SynodProposer
@@ -249,7 +250,7 @@ class TwoPhaseCommit:
             self.client.service_names(decision_group(gtid)), self.config,
         )
         ballot = Ballot(1, f"2pc:{gtid}:{self.client.node.name}")
-        for _attempt in range(self.MAX_DECIDE_ATTEMPTS):
+        for attempt in range(self.MAX_DECIDE_ATTEMPTS):
             prepare = yield from proposer.prepare(ballot)
             if prepare.chosen is not None:
                 return prepare.chosen
@@ -262,8 +263,10 @@ class TwoPhaseCommit:
                 ballot = ballot.next_round(ballot.proposer, accept.max_promised)
             else:
                 ballot = ballot.next_round(ballot.proposer, prepare.max_promised)
+            # Capped-exponential backoff between ballot rounds (flat at the
+            # default cap — see repro.core.retry).
             yield self.client.env.timeout(
-                self._rng.uniform(0.0, self.config.retry_backoff_ms)
+                backoff_delay_ms(self._rng, self.config, attempt)
             )
         return None
 
@@ -283,7 +286,7 @@ class TwoPhaseCommit:
         """
         position = start_position
         identity = f"2pc:{marker.gtid}:marker:{group}:{self.client.node.name}"
-        for _attempt in range(self.MAX_DECIDE_ATTEMPTS):
+        for attempt in range(self.MAX_DECIDE_ATTEMPTS):
             proposer = SynodProposer(
                 self.client.node, group, position,
                 self.client.service_names(group), self.config,
@@ -297,7 +300,7 @@ class TwoPhaseCommit:
                 continue
             if prepare.successes < proposer.majority:
                 yield self.client.env.timeout(
-                    self._rng.uniform(0.0, self.config.retry_backoff_ms)
+                    backoff_delay_ms(self._rng, self.config, attempt)
                 )
                 continue
             value = find_winning_val(prepare, marker)

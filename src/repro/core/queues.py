@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Generator, Mapping
 
 from repro.config import ProtocolConfig
 from repro.core.commit_basic import find_winning_val
+from repro.core.retry import backoff_delay_ms
 from repro.model import Item, QueueSend, Transaction
 from repro.net.node import Node
 from repro.paxos.ballot import Ballot
@@ -567,9 +568,11 @@ class QueueDeliveryPump:
                 position += 1
                 continue
             attempts += 1
+            # Failed rounds back off with the shared capped-exponential
+            # policy (flat at the default cap — see repro.core.retry).
             if prepare.successes < proposer.majority:
                 yield self.env.timeout(
-                    self._rng.uniform(0.0, self.config.retry_backoff_ms)
+                    backoff_delay_ms(self._rng, self.config, attempts - 1)
                 )
                 continue
             winner = find_winning_val(prepare, value)
@@ -582,7 +585,7 @@ class QueueDeliveryPump:
                 position += 1
                 continue
             yield self.env.timeout(
-                self._rng.uniform(0.0, self.config.retry_backoff_ms)
+                backoff_delay_ms(self._rng, self.config, attempts - 1)
             )
         return False
 

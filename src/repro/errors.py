@@ -167,6 +167,27 @@ class ServiceUnavailable(TransactionError):
     """No transaction service (local or remote) answered a request."""
 
 
+class DeadlineExceeded(TransactionError):
+    """The transaction's deadline budget ran out before it finished.
+
+    Raised by the client retry loop when a ``begin``/``read`` retry would
+    start later than ``deadline_ms`` after the transaction began (see
+    :class:`repro.config.ProtocolConfig`).  The workload drivers record it
+    as a ``timeout`` abort — the *typed* terminal outcome of a transaction
+    that kept being retried until its budget died, distinct from
+    ``service_unavailable`` (retries exhausted with no answer at all).
+    """
+
+    def __init__(self, operation: str, elapsed_ms: float, budget_ms: float) -> None:
+        super().__init__(
+            f"{operation}: deadline budget exhausted "
+            f"({elapsed_ms:.0f} ms elapsed of {budget_ms:.0f} ms)"
+        )
+        self.operation = operation
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+
+
 # ---------------------------------------------------------------------------
 # Experiment harness
 # ---------------------------------------------------------------------------
@@ -183,6 +204,18 @@ OPEN_LOOP_SHARDS_ERROR = (
     "pooled clients roam groups, which the sharded kernel's lane pinning "
     "cannot express"
 )
+
+
+class FaultScheduleError(ReproError):
+    """A declarative fault schedule cannot be installed on this deployment.
+
+    Raised by :func:`repro.failures.schedule.install_fault_schedule` for
+    schedules naming unknown datacenters or groups, pump crashes without a
+    running pump, and by :meth:`repro.failures.injector.FailureInjector.kill_process_at`
+    for cross-lane kills requested *mid-run* on the sharded kernel (the
+    cross-lane coupling conservative lookahead forbids) — a typed error at
+    the declaration site instead of a lane-kernel crash deep in the run.
+    """
 
 
 class InvalidExperimentSpec(ReproError, ValueError):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.errors import FaultScheduleError
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,13 +32,34 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FailureInjector:
-    """Injects datacenter outages, loss episodes, partitions, and crashes."""
+    """Injects datacenter outages, loss episodes, partitions, and crashes.
+
+    Edge cases, pinned:
+
+    * A fault declared at an already-past time fires *immediately* (the
+      ``max(0.0, when - now)`` clamp in :meth:`_at`), it is never silently
+      dropped.
+    * A zero-duration window is a no-op with a visible trace: start and end
+      fire at the same timestamp in declaration order, so the network state
+      is identical before and after, but both events appear in :attr:`log`.
+    * Overlapping outage windows on one datacenter are *refcounted*: the
+      datacenter comes back up only when the **last** open window ends.
+      (Without the count, the first window's end would revive a datacenter
+      a second window still holds down.)  Partitions are set-based — two
+      overlapping windows on the same link collapse to one membership, so
+      the earliest ``heal`` restores the link; refcounting covers the
+      outage case the declarative schedules actually generate.
+    """
 
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.network = cluster.network
         self.log: list[tuple[float, str]] = []
+        #: Open outage windows per (datacenter, lane) — the overlap
+        #: refcount.  Mutated only by the scheduled callbacks, i.e. in the
+        #: key's own lane, so the sharded kernels never race on it.
+        self._outage_depth: dict[tuple[str, int], int] = {}
 
     def _at(self, when_ms: float, action: Callable[[], None],
             description: str, lane: int | None = None) -> None:
@@ -80,17 +102,27 @@ class FailureInjector:
         datacenter's store survives the outage (state is durable); only
         message delivery stops — which is exactly the paper's failure model
         for transaction tiers going offline and back online.
+
+        Overlapping windows on one datacenter compose: each start deepens a
+        per-lane refcount and each end releases one level, so the network
+        comes back only when the last open window closes.
         """
-        self._at_every_lane(
-            start_ms,
-            lambda lane: self.network.take_down(datacenter, lane=lane),
-            f"outage start {datacenter}",
-        )
-        self._at_every_lane(
-            start_ms + duration_ms,
-            lambda lane: self.network.bring_up(datacenter, lane=lane),
-            f"outage end {datacenter}",
-        )
+        def down(lane: int) -> None:
+            key = (datacenter, lane)
+            depth = self._outage_depth.get(key, 0)
+            self._outage_depth[key] = depth + 1
+            if depth == 0:
+                self.network.take_down(datacenter, lane=lane)
+
+        def up(lane: int) -> None:
+            key = (datacenter, lane)
+            depth = self._outage_depth.get(key, 1) - 1
+            self._outage_depth[key] = depth
+            if depth <= 0:
+                self.network.bring_up(datacenter, lane=lane)
+
+        self._at_every_lane(start_ms, down, f"outage start {datacenter}")
+        self._at_every_lane(start_ms + duration_ms, up, f"outage end {datacenter}")
 
     # ------------------------------------------------------------------
     # Message loss
@@ -156,6 +188,23 @@ class FailureInjector:
 
         Fires once, in the victim's own lane — a kill is a process-local
         event, not network state.
+
+        On a lane-partitioned kernel this must be declared while the
+        simulation is paused (or from the victim's own lane): scheduling
+        into *another* lane's timeline mid-run is exactly the cross-lane
+        coupling conservative lookahead forbids, and raises a typed
+        :class:`~repro.errors.FaultScheduleError` here instead of corrupting
+        the lane kernel's event order.
         """
+        if self.env.lane_count > 1:
+            executing = self.env.sim.executing_lane
+            if executing is not None and executing != process.lane:
+                raise FaultScheduleError(
+                    f"kill_process_at({process.name!r}) invoked mid-run from "
+                    f"lane {executing} against lane {process.lane} on a "
+                    f"sharded kernel; declare process kills before the run "
+                    f"(or between run() segments) — cross-lane scheduling "
+                    f"breaks conservative lookahead"
+                )
         self._at(when_ms, lambda: process.kill(reason),
                  f"kill {process.name}", lane=process.lane)

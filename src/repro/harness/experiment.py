@@ -17,7 +17,12 @@ from typing import TYPE_CHECKING
 from repro.cluster import Cluster
 from repro.config import ClusterConfig, ProtocolName, WorkloadConfig
 from repro.errors import OPEN_LOOP_SHARDS_ERROR, InvalidExperimentSpec
-from repro.harness.metrics import OutcomeAggregate, RunMetrics, aggregate_metrics
+from repro.harness.metrics import (
+    OutcomeAggregate,
+    RunMetrics,
+    aggregate_metrics,
+    availability_report,
+)
 from repro.model import TransactionOutcome
 from repro.workload.driver import WorkloadDriver
 
@@ -150,8 +155,16 @@ def prepare_run(spec: ExperimentSpec, seed: int) -> tuple[Cluster, list[Workload
     drivers[0].install_data()
     for driver in drivers:
         driver.start()
+    pumps = None
     if spec.workload.queue_fraction > 0:
-        cluster.start_queue_pumps()
+        pumps = cluster.start_queue_pumps()
+    if not spec.cluster.faults.is_empty():
+        # Installed from the spec inside prepare_run, so the sharded-mp
+        # workers and the coordinator arm the identical schedule — faults
+        # behave the same on every engine.
+        from repro.failures.schedule import install_fault_schedule
+
+        install_fault_schedule(cluster, spec.cluster.faults, pumps=pumps)
     if not cluster.shard_map.single_lane:
         # Conservative-lookahead input: the union of every actor's possible
         # cross-lane traffic.  Group-pinned threads without 2PC contribute
@@ -248,6 +261,19 @@ def finish_run(
     # during check_invariants_all; surface the per-kind counts on the run's
     # metrics (empty dict under 1sr/ssi, and when invariants are off).
     metrics.anomalies = cluster.anomaly_counts()
+    # Network drop counters by cause: complete for every engine at this
+    # point (the sharded-mp workers ship their stats home before this
+    # runs), so the column — and the digest — agree serial vs parallel.
+    net = cluster.network.stats
+    metrics.dropped_messages = {
+        "loss": net.dropped_loss,
+        "outage": net.dropped_outage,
+        "partition": net.dropped_partition,
+    }
+    if cluster.fault_windows:
+        metrics.availability = availability_report(
+            metrics.timeline, cluster.fault_windows
+        )
     stats = cluster.lane_profile()
     lane_profile = None
     if stats is not None:

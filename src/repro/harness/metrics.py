@@ -168,6 +168,180 @@ class LatencyHistogram:
         )
 
 
+#: Width of one availability window.  Fixed (not configurable per run) so
+#: timelines from any two runs of a cell absorb exactly and serial/parallel
+#: digests compare the same structure.
+_WINDOW_MS = 500.0
+
+
+class AvailabilityTimeline:
+    """Fixed-memory windowed view of a run: what happened per 500 ms.
+
+    Buckets every transaction decision by its *end* time into
+    ``window_ms``-wide windows, keeping per-window commit counts, abort
+    counts by reason, and a commit-latency histogram.  State is O(windows
+    × abort reasons) — a few ints per half-second of simulated time —
+    so open-loop million-transaction runs carry a full availability
+    timeline at no meaningful cost, and sharded-mp workers ship timelines
+    home inside their :class:`OutcomeAggregate`.
+
+    :meth:`absorb` adds per-window counts, so merging per-thread timelines
+    in thread order reproduces the serial fold exactly — the property that
+    keeps ``--jobs`` metrics digests identical under fault schedules.
+    """
+
+    def __init__(self, window_ms: float = _WINDOW_MS) -> None:
+        self.window_ms = window_ms
+        self.commits: dict[int, int] = {}
+        self.aborts: dict[int, dict[str, int]] = {}
+        self.latency: dict[int, LatencyHistogram] = {}
+
+    def record(self, end_time_ms: float, committed: bool,
+               reason: str = "", latency_ms: float = 0.0) -> None:
+        """Fold one decision in (commit latency recorded for commits only)."""
+        index = int(end_time_ms // self.window_ms)
+        if committed:
+            self.commits[index] = self.commits.get(index, 0) + 1
+            self.latency.setdefault(index, LatencyHistogram()).record(latency_ms)
+        else:
+            per_reason = self.aborts.setdefault(index, {})
+            per_reason[reason] = per_reason.get(reason, 0) + 1
+
+    def absorb(self, other: "AvailabilityTimeline") -> None:
+        """Merge *other* in; exact on counts."""
+        if other.window_ms != self.window_ms:
+            raise ValueError(
+                f"cannot absorb a {other.window_ms} ms timeline into a "
+                f"{self.window_ms} ms one"
+            )
+        for index, count in other.commits.items():
+            self.commits[index] = self.commits.get(index, 0) + count
+        for index, reasons in other.aborts.items():
+            mine = self.aborts.setdefault(index, {})
+            for reason, count in reasons.items():
+                mine[reason] = mine.get(reason, 0) + count
+        for index, histogram in other.latency.items():
+            self.latency.setdefault(index, LatencyHistogram()).absorb(histogram)
+
+    def copy(self) -> "AvailabilityTimeline":
+        fresh = AvailabilityTimeline(self.window_ms)
+        fresh.absorb(self)
+        return fresh
+
+    def is_empty(self) -> bool:
+        return not self.commits and not self.aborts
+
+    def last_index(self) -> int:
+        """Index of the last window with any decision (-1 when empty)."""
+        indices = set(self.commits) | set(self.aborts)
+        return max(indices) if indices else -1
+
+    def commit_p99_ms(self, index: int) -> float:
+        """p99 commit latency of one window (NaN when no commits)."""
+        histogram = self.latency.get(index)
+        if histogram is None:
+            return float("nan")
+        return histogram.percentile(0.99)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AvailabilityTimeline):
+            return NotImplemented
+        return (
+            self.window_ms == other.window_ms
+            and self.commits == other.commits
+            and self.aborts == other.aborts
+            and self.latency == other.latency
+        )
+
+    def __repr__(self) -> str:
+        commits = {i: self.commits[i] for i in sorted(self.commits)}
+        aborts = {
+            i: dict(sorted(self.aborts[i].items())) for i in sorted(self.aborts)
+        }
+        latency = {i: self.latency[i] for i in sorted(self.latency)}
+        return (
+            f"AvailabilityTimeline(window_ms={self.window_ms!r}, "
+            f"commits={commits!r}, aborts={aborts!r}, latency={latency!r})"
+        )
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Availability of one run, derived from its timeline + fault windows.
+
+    * ``baseline_goodput_per_s`` — mean commits/s over the windows fully
+      *before* the first fault (NaN when the fault starts immediately).
+    * ``fault_min_goodput_per_s`` — the worst window fully inside the
+      fault span; the "did it shed or collapse" number.
+    * ``zero_windows`` / ``unavailable_ms`` — windows inside the fault
+      span with zero commits, and their total simulated time: the derived
+      unavailability.
+    * ``recovery_ms`` — time from fault end until the end of the first
+      window whose commits climbed back above ``recovery_threshold`` of
+      the pre-fault baseline; ``inf`` when the run never recovered, NaN
+      when there was no usable baseline.
+    """
+
+    fault_start_ms: float
+    fault_end_ms: float
+    baseline_goodput_per_s: float
+    fault_min_goodput_per_s: float
+    zero_windows: int
+    unavailable_ms: float
+    recovery_ms: float
+    recovery_threshold: float = 0.5
+
+
+def availability_report(
+    timeline: AvailabilityTimeline,
+    fault_windows: "list[tuple[float, float]]",
+    recovery_threshold: float = 0.5,
+) -> AvailabilityReport | None:
+    """Align *timeline* against the installed fault windows.
+
+    ``None`` when the run had no faults (or no decisions at all) — the
+    availability columns only appear for fault-scheduled cells.  Multiple
+    fault windows are treated as one span from the earliest start to the
+    latest end; per-window alignment uses only *full* windows (a window
+    straddling a fault edge counts toward neither baseline nor fault).
+    """
+    if not fault_windows or timeline.is_empty():
+        return None
+    window = timeline.window_ms
+    per_s = 1000.0 / window
+    fault_start = min(start for start, _ in fault_windows)
+    fault_end = max(end for _, end in fault_windows)
+    pre = [timeline.commits.get(i, 0) for i in range(int(fault_start // window))]
+    baseline_commits = fmean(pre) if pre else float("nan")
+    # A schedule may declare a fault far beyond the run (an "outage for the
+    # rest of time"); windows past the last observed decision are out of
+    # scope — the run had ended, nothing was unavailable.
+    end_index = min(int(fault_end // window), timeline.last_index() + 1)
+    inside = range(math.ceil(fault_start / window), end_index)
+    fault_counts = [timeline.commits.get(i, 0) for i in inside]
+    zero_windows = sum(1 for count in fault_counts if count == 0)
+    fault_min = min(fault_counts) if fault_counts else float("nan")
+    if baseline_commits != baseline_commits or baseline_commits <= 0.0:
+        recovery_ms = float("nan")
+    else:
+        target = recovery_threshold * baseline_commits
+        recovery_ms = float("inf")
+        for i in range(math.ceil(fault_end / window), timeline.last_index() + 1):
+            if timeline.commits.get(i, 0) >= target:
+                recovery_ms = (i + 1) * window - fault_end
+                break
+    return AvailabilityReport(
+        fault_start_ms=fault_start,
+        fault_end_ms=fault_end,
+        baseline_goodput_per_s=baseline_commits * per_s,
+        fault_min_goodput_per_s=fault_min * per_s,
+        zero_windows=zero_windows,
+        unavailable_ms=zero_windows * window,
+        recovery_ms=recovery_ms,
+        recovery_threshold=recovery_threshold,
+    )
+
+
 @dataclass
 class LatencySummary:
     """One latency family summarized: count, mean, and tail percentiles.
@@ -276,6 +450,7 @@ class OutcomeAggregate:
     queue_sends: int = 0
     max_promotions: int = 0
     duration_ms: float = 0.0
+    timeline: AvailabilityTimeline = field(default_factory=AvailabilityTimeline)
 
     def absorb(self, outcome: TransactionOutcome,
                latency_ms: float | None = None) -> None:
@@ -310,11 +485,13 @@ class OutcomeAggregate:
                 self.latency_sum_by_round.get(outcome.promotions, 0.0) + latency
             )
             self.commit_latency.record(latency)
+            self.timeline.record(outcome.end_time, True, latency_ms=latency)
         else:
             reason = str(outcome.abort_reason or AbortReason.TIMEOUT)
             self.aborts_by_reason[reason] = (
                 self.aborts_by_reason.get(reason, 0) + 1
             )
+            self.timeline.record(outcome.end_time, False, reason=reason)
         if outcome.end_time > self.duration_ms:
             self.duration_ms = outcome.end_time
 
@@ -356,6 +533,7 @@ class OutcomeAggregate:
             self.max_promotions = other.max_promotions
         if other.duration_ms > self.duration_ms:
             self.duration_ms = other.duration_ms
+        self.timeline.absorb(other.timeline)
 
 
 @dataclass
@@ -429,6 +607,14 @@ class RunMetrics:
     queue: QueueStats = field(default_factory=QueueStats)
     #: Arrival-side accounting when the run used the open-loop engine.
     open_loop: OpenLoopStats | None = None
+    #: Windowed goodput/abort/latency view of the run (always populated).
+    timeline: AvailabilityTimeline = field(default_factory=AvailabilityTimeline)
+    #: Messages the network dropped, by cause (``loss`` / ``outage`` /
+    #: ``partition``).  Filled by ``finish_run`` from the network counters.
+    dropped_messages: dict[str, int] = field(default_factory=dict)
+    #: Timeline aligned against the installed fault windows; ``None`` for
+    #: fault-free runs.  Filled by ``finish_run``.
+    availability: AvailabilityReport | None = None
 
     @property
     def aborts(self) -> int:
@@ -513,11 +699,15 @@ class RunMetrics:
                 )
                 per_round.setdefault(outcome.promotions, []).append(outcome.latency_ms)
                 commit_latencies.append(outcome.latency_ms)
+                metrics.timeline.record(
+                    outcome.end_time, True, latency_ms=outcome.latency_ms
+                )
             else:
                 reason = str(outcome.abort_reason or AbortReason.TIMEOUT)
                 metrics.aborts_by_reason[reason] = (
                     metrics.aborts_by_reason.get(reason, 0) + 1
                 )
+                metrics.timeline.record(outcome.end_time, False, reason=reason)
             metrics.duration_ms = max(metrics.duration_ms, outcome.end_time)
         metrics.commit_latency = LatencySummary.exact(commit_latencies)
         metrics.all_latency = LatencySummary.exact(all_latencies)
@@ -567,6 +757,7 @@ class RunMetrics:
             queue_send_commits=aggregate.queue_send_commits,
             queue_sends=aggregate.queue_sends,
             open_loop=open_loop,
+            timeline=aggregate.timeline.copy(),
         )
         if queue is not None:
             metrics.queue = queue
@@ -682,6 +873,41 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
             completed=round(fmean(s.completed for s in loops)),
             peak_pending=max(s.peak_pending for s in loops),
             queue_wait=_aggregate_summaries([s.queue_wait for s in loops]),
+        )
+    # Timelines pool (absorb) rather than average: the cross-trial window
+    # counts stay integers, and per-window means are recoverable by
+    # dividing by the trial count.
+    result.timeline = AvailabilityTimeline(trials[0].timeline.window_ms)
+    for t in trials:
+        result.timeline.absorb(t.timeline)
+    causes = {cause for t in trials for cause in t.dropped_messages}
+    result.dropped_messages = {
+        cause: round(fmean(t.dropped_messages.get(cause, 0) for t in trials))
+        for cause in sorted(causes)
+    }
+    reports = [t.availability for t in trials if t.availability is not None]
+    if reports:
+        # Zero-windows round *up* (any unavailability stays visible) and a
+        # single never-recovered trial keeps the mean at infinity — the
+        # worst case must not average away.
+        recoveries = [r.recovery_ms for r in reports]
+        recovery = (
+            float("inf") if any(r == float("inf") for r in recoveries)
+            else _safe_mean(recoveries)
+        )
+        result.availability = AvailabilityReport(
+            fault_start_ms=fmean(r.fault_start_ms for r in reports),
+            fault_end_ms=fmean(r.fault_end_ms for r in reports),
+            baseline_goodput_per_s=_safe_mean(
+                [r.baseline_goodput_per_s for r in reports]
+            ),
+            fault_min_goodput_per_s=_safe_mean(
+                [r.fault_min_goodput_per_s for r in reports]
+            ),
+            zero_windows=math.ceil(fmean(r.zero_windows for r in reports)),
+            unavailable_ms=fmean(r.unavailable_ms for r in reports),
+            recovery_ms=recovery,
+            recovery_threshold=reports[0].recovery_threshold,
         )
     result.log = LogStats(
         positions=round(fmean(t.log.positions for t in trials)),

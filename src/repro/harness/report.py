@@ -87,6 +87,22 @@ def _queue_cell(metrics: RunMetrics) -> str:
     return cell
 
 
+def _dropped_cell(metrics: RunMetrics) -> str:
+    """Network drops by cause as ``outage:42 loss:3``, or ``-`` when clean.
+
+    Zero-count causes are elided — a fault-free run renders a bare dash,
+    not three noisy zeros.
+    """
+    nonzero = {
+        cause: count
+        for cause, count in sorted(metrics.dropped_messages.items())
+        if count
+    }
+    if not nonzero:
+        return "-"
+    return " ".join(f"{cause}:{count}" for cause, count in nonzero.items())
+
+
 def _anomaly_cell(metrics: RunMetrics) -> str:
     """Classified anomalies as ``write_skew:3 ...``, or ``-`` when none.
 
@@ -122,8 +138,8 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
         "cell", "protocol", "txns", "commits", "rate",
         "by promotion round", "lat ms (commit)", "lat ms (all)",
         "p99", "p999",
-        "combined", "max promo", "xgroup", "queue", "aborts by reason",
-        "anomalies",
+        "combined", "max promo", "xgroup", "queue", "dropped",
+        "aborts by reason", "anomalies",
     ]
     rows = []
     for result in results:
@@ -143,6 +159,7 @@ def format_cells(results: list[ExperimentResult], title: str = "") -> str:
             str(metrics.max_promotions),
             _cross_group_cell(metrics),
             _queue_cell(metrics),
+            _dropped_cell(metrics),
             _abort_histogram(metrics),
             _anomaly_cell(metrics),
         ])
@@ -187,6 +204,45 @@ def format_open_loop(results: list[ExperimentResult], title: str = "") -> str:
             _fmt(metrics.commit_latency.p999_ms),
             _fmt(stats.queue_wait.mean_ms),
             str(stats.peak_pending),
+        ])
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_availability(results: list[ExperimentResult], title: str = "") -> str:
+    """Availability view of fault-scheduled cells (one row per cell).
+
+    Rows appear only for cells whose metrics carry an
+    :class:`~repro.harness.metrics.AvailabilityReport`; an all-fault-free
+    result list renders an empty table body.  ``recovery ms`` prints
+    ``never`` for a run that stayed below the recovery threshold to the
+    end of the horizon.
+    """
+    headers = [
+        "cell", "protocol", "fault ms", "baseline gp/s", "fault min gp/s",
+        "zero win", "unavail ms", "recovery ms",
+    ]
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        report = metrics.availability
+        if report is None:
+            continue
+        if report.recovery_ms == float("inf"):
+            recovery = "never"
+        else:
+            recovery = _fmt(report.recovery_ms, digits=0)
+        rows.append([
+            result.spec.name,
+            metrics.protocol,
+            f"{report.fault_start_ms:.0f}-{report.fault_end_ms:.0f}",
+            _fmt(report.baseline_goodput_per_s),
+            _fmt(report.fault_min_goodput_per_s),
+            str(report.zero_windows),
+            _fmt(report.unavailable_ms, digits=0),
+            recovery,
         ])
     table = format_table(headers, rows)
     if title:

@@ -70,16 +70,38 @@ class SynodProposer:
     # PREPARE
     # ------------------------------------------------------------------
 
+    def _decisive(self, responses, chosen_is_terminal: bool) -> bool:
+        """Whether more replies could still change the phase's outcome.
+
+        The round is settled once a majority of positive replies is in hand,
+        once so many *negative* replies arrived that a positive majority has
+        become arithmetically impossible, or (prepare only) once any acceptor
+        reported the instance already decided.  Without the negative rules a
+        client talking to a partially-down deployment waits the full
+        loss-detection timeout to learn what the replies it already holds
+        prove — turning every such round into a ``timeout_ms`` stall.
+        """
+        successes = sum(1 for r in responses if r.payload.success)
+        if successes >= self.majority:
+            return True
+        failures = len(responses) - successes
+        if failures > len(self.services) - self.majority:
+            return True
+        if chosen_is_terminal:
+            return any(r.payload.chosen is not None for r in responses)
+        return False
+
     def prepare(self, ballot: Ballot) -> Generator:
         """Run one PREPARE round; returns a :class:`PhaseOutcome`.
 
-        Completion rule: all services answered, or a majority of *positive*
-        LAST VOTEs plus the grace window, or the loss-detection timeout.
+        Completion rule: all services answered, or the outcome is already
+        decided (see :meth:`_decisive`) plus the grace window, or the
+        loss-detection timeout.
         """
         payload = m.PreparePayload(self.group, self.position, ballot)
 
         def enough(responses) -> bool:
-            return sum(1 for r in responses if r.payload.success) >= self.majority
+            return self._decisive(responses, chosen_is_terminal=True)
 
         gather = self.node.request_many(
             self.services, m.PREPARE, payload,
@@ -111,7 +133,7 @@ class SynodProposer:
         payload = m.AcceptPayload(self.group, self.position, ballot, value)
 
         def enough(responses) -> bool:
-            return sum(1 for r in responses if r.payload.success) >= self.majority
+            return self._decisive(responses, chosen_is_terminal=False)
 
         gather = self.node.request_many(
             self.services, m.ACCEPT, payload,

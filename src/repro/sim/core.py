@@ -187,6 +187,16 @@ class LanedSimulator(Simulator):
     def current_lane(self) -> int:
         return 0 if self._lane is None else self._lane
 
+    @property
+    def executing_lane(self) -> int | None:
+        """Lane of the event being processed, ``None`` while paused.
+
+        Unlike :attr:`current_lane` this does not collapse the paused state
+        to lane 0 — the fault injector uses it to tell a (legal) paused-time
+        cross-lane declaration from an (illegal) mid-run one.
+        """
+        return self._lane
+
     def _key_lane(self, target: int) -> int:
         """Lane whose counter stamps a scheduling action.
 
@@ -858,6 +868,12 @@ class ShardedSimulator(Simulator):
     @property
     def current_lane(self) -> int:
         return 0 if self._lane is None else self._lane
+
+    @property
+    def executing_lane(self) -> int | None:
+        """Lane of the event being processed, ``None`` while paused (see
+        :attr:`LanedSimulator.executing_lane`)."""
+        return self._lane
 
     @property
     def channel_preds(self) -> "list[set[int]]":

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
 from repro.config import ProtocolName, WorkloadConfig
-from repro.errors import CrossGroupTransaction, TransactionError
+from repro.errors import CrossGroupTransaction, DeadlineExceeded, TransactionError
 from repro.model import (
     CROSS_GROUP,
     AbortReason,
@@ -90,6 +90,18 @@ def execute_plan(
             begin_time=begin_time,
             end_time=env.now,
             extra={"row": strayed.row, "row_group": strayed.row_group},
+        )
+    except DeadlineExceeded:
+        # The retry loop ran the transaction's deadline budget dry: a
+        # *typed* terminal outcome (timeout), distinct from the
+        # exhausted-retries case below — the availability report needs the
+        # two failure modes separable.
+        return TransactionOutcome(
+            transaction=_placeholder(client, groups, f"deadline@{env.now:.3f}"),
+            status=TransactionStatus.ABORTED,
+            abort_reason=AbortReason.TIMEOUT,
+            begin_time=begin_time,
+            end_time=env.now,
         )
     except TransactionError:
         return TransactionOutcome(

@@ -1,0 +1,173 @@
+"""Tests for the client retry loop: backoff, deadlines, typed outcomes."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    FaultScheduleConfig,
+    OutageWindow,
+    ProtocolConfig,
+    WorkloadConfig,
+)
+from repro.core.retry import backoff_bound_ms, backoff_delay_ms
+from repro.errors import DeadlineExceeded
+from repro.failures.injector import FailureInjector
+from repro.harness.experiment import ExperimentSpec, run_once
+from repro.harness.parallel import metrics_digest
+from repro.sim.env import Environment
+from tests.conftest import make_cluster
+
+GROUP = "g"
+
+
+class TestBackoff:
+    def test_flat_at_default_cap(self):
+        """Default cap == base: every attempt draws uniform(0, 40) — the
+        historic flat backoff, bit for bit."""
+        config = ProtocolConfig()
+        assert all(backoff_bound_ms(config, k) == 40.0 for k in range(6))
+
+    def test_exponential_growth_when_cap_raised(self):
+        config = ProtocolConfig(retry_backoff_cap_ms=320.0)
+        bounds = [backoff_bound_ms(config, k) for k in range(6)]
+        assert bounds == [40.0, 80.0, 160.0, 320.0, 320.0, 320.0]
+
+    def test_draws_deterministic_per_seed(self):
+        config = ProtocolConfig(retry_backoff_cap_ms=640.0)
+
+        def sequence(seed: int) -> list[float]:
+            rng = Environment(seed=seed).rng.stream("client.retry.c0")
+            return [backoff_delay_ms(rng, config, k) for k in range(8)]
+
+        assert sequence(11) == sequence(11)
+        assert sequence(11) != sequence(12)
+
+    def test_draws_respect_bound(self):
+        config = ProtocolConfig(retry_backoff_cap_ms=160.0)
+        rng = Environment(seed=0).rng.stream("client.retry.c0")
+        for attempt in range(20):
+            delay = backoff_delay_ms(rng, config, attempt % 5)
+            assert 0.0 <= delay <= backoff_bound_ms(config, attempt % 5)
+
+
+class TestDecisiveQuorum:
+    def test_in_fault_commit_round_does_not_stall_for_timeout(self):
+        """A phase whose outcome is already settled by the replies in hand
+        must not wait out ``timeout_ms`` for a reply a dead datacenter will
+        never send.  Two back-to-back transactions race the APPLY broadcast:
+        the second competes for the already-decided position and its prepare
+        replies (all negative, reporting the chosen value) are decisive."""
+        cluster = make_cluster(timeout_ms=2000.0)
+        injector = FailureInjector(cluster)
+        injector.outage("V3", start_ms=100.0, duration_ms=4000.0)
+        cluster.preload(GROUP, {"row0": {"a": "x"}})
+        client = cluster.add_client("V1", protocol="paxos-cp")
+        durations = []
+
+        def proc():
+            yield cluster.env.timeout(150.0)
+            for i in range(4):
+                begin = cluster.env.now
+                handle = yield from client.begin(GROUP)
+                yield from client.read(handle, "row0", "a")
+                client.write(handle, "row0", "a", str(i))
+                yield from client.commit(handle)
+                durations.append(cluster.env.now - begin)
+
+        cluster.env.process(proc())
+        cluster.run()
+        assert len(durations) == 4
+        # Before the decisive rules every other commit waited the full 2 s
+        # loss-detection timeout; now all rounds settle on the live majority.
+        assert max(durations) < 100.0, durations
+
+
+class TestDeadline:
+    def make_dark_cluster(self, **overrides):
+        """A cluster that is completely dark: every sweep must fail.
+
+        All three datacenters go down (a minority outage would leave
+        ``begin``/``read`` served by the client's local replica and never
+        exercise the retry loop — only *commit* needs a majority).
+        """
+        cluster = make_cluster(**overrides)
+        injector = FailureInjector(cluster)
+        for dc in cluster.topology.names:
+            injector.outage(dc, start_ms=0.0, duration_ms=10_000_000.0)
+        return cluster
+
+    def test_deadline_exhaustion_raises_typed_error(self):
+        """The retry loop terminates on the budget — no unbounded gather."""
+        cluster = self.make_dark_cluster(
+            timeout_ms=50.0, retry_attempts=10, deadline_ms=300.0,
+        )
+        cluster.preload(GROUP, {"row0": {"a": "init"}})
+        client = cluster.add_client("V1", protocol="paxos")
+
+        def proc():
+            yield from client.begin(GROUP)
+
+        cluster.env.process(proc())
+        with pytest.raises(DeadlineExceeded):
+            cluster.run()
+        assert cluster.env.now < 1_000.0  # budget held; no retry runaway
+
+    def spec(self, **protocol_overrides) -> ExperimentSpec:
+        return ExperimentSpec(
+            name="dark",
+            cluster=ClusterConfig(
+                cluster_code="VVV",
+                protocol=ProtocolConfig(
+                    timeout_ms=50.0, max_commit_attempts=2,
+                    **protocol_overrides,
+                ),
+                faults=FaultScheduleConfig(outages=(
+                    OutageWindow("V1", 0.0, 10_000_000.0),
+                    OutageWindow("V2", 0.0, 10_000_000.0),
+                    OutageWindow("V3", 0.0, 10_000_000.0),
+                )),
+            ),
+            workload=WorkloadConfig(
+                n_transactions=4, ops_per_transaction=2, n_attributes=4,
+                n_threads=2, target_rate_per_thread=20.0,
+            ),
+            protocol="paxos",
+        )
+
+    def test_driver_maps_deadline_to_timeout_abort(self):
+        result = run_once(self.spec(retry_attempts=10, deadline_ms=300.0))
+        metrics = result.metrics
+        assert metrics.commits == 0
+        assert set(metrics.aborts_by_reason) == {"timeout"}
+        assert metrics.aborts_by_reason["timeout"] == 4
+
+    def test_exhausted_retries_without_deadline_are_unavailable(self):
+        result = run_once(self.spec(retry_attempts=1))
+        metrics = result.metrics
+        assert metrics.commits == 0
+        assert set(metrics.aborts_by_reason) == {"service_unavailable"}
+
+
+class TestFaultFreeNeutrality:
+    def test_retry_policy_does_not_perturb_fault_free_runs(self):
+        """Retries only draw RNG on actual failures, so enabling the policy
+        leaves a fault-free run's metrics digest untouched."""
+
+        def digest(**protocol_overrides) -> str:
+            spec = ExperimentSpec(
+                name="cell",
+                cluster=ClusterConfig(
+                    cluster_code="VVV",
+                    protocol=ProtocolConfig(**protocol_overrides),
+                ),
+                workload=WorkloadConfig(
+                    n_transactions=12, ops_per_transaction=3, n_attributes=8,
+                    n_threads=3, target_rate_per_thread=20.0,
+                ),
+                protocol="paxos-cp",
+            )
+            return metrics_digest([run_once(spec, seed=5)])
+
+        assert digest(retry_attempts=0) == digest(
+            retry_attempts=5, retry_backoff_cap_ms=640.0, deadline_ms=5_000.0,
+        )

@@ -34,8 +34,17 @@ import random
 import pytest
 
 from repro.cluster import Cluster
-from repro.config import ClusterConfig, PlacementConfig, WorkloadConfig
-from repro.failures.injector import FailureInjector
+from repro.config import (
+    ClusterConfig,
+    FaultScheduleConfig,
+    LossWindow,
+    OutageWindow,
+    PartitionWindow,
+    PlacementConfig,
+    PumpCrash,
+    WorkloadConfig,
+)
+from repro.failures.schedule import install_fault_schedule
 from repro.workload.driver import WorkloadDriver
 
 N_SEEDS = 20
@@ -73,11 +82,16 @@ def build_scenario(seed: int):
     return rng, cluster, driver, protocol, queue_fraction
 
 
-def schedule_faults(rng, cluster, pumps, protocol, queue_fraction) -> list[str]:
-    """Install this seed's fault schedule; returns a description log."""
-    injector = FailureInjector(cluster)
-    installed = []
+def draw_fault_schedule(rng, cluster, pumps, protocol,
+                        queue_fraction) -> FaultScheduleConfig:
+    """This seed's fault schedule as declarative config.
+
+    The draw sequence is pinned — byte-identical to the historical
+    imperative version, so every seed's scenario is unchanged; only the
+    installation mechanism moved to :func:`install_fault_schedule`.
+    """
     datacenters = list(cluster.topology.names)
+    outages, partitions, losses, crashes = [], [], [], []
 
     if queue_fraction > 0:
         # The headline fault: crash a delivery pump mid-flight and restart
@@ -86,12 +100,10 @@ def schedule_faults(rng, cluster, pumps, protocol, queue_fraction) -> list[str]:
         victim = rng.choice(sorted(pumps))
         kill_ms = rng.uniform(80.0, 500.0)
         restart_ms = kill_ms + rng.uniform(40.0, 300.0)
-        injector.kill_process_at(pumps[victim], kill_ms)
-        restart = cluster.env.timeout(restart_ms)
-        restart.add_callback(
-            lambda _e, group=victim: cluster.start_queue_pump(group, poll_ms=15.0)
-        )
-        installed.append(f"pump-crash {victim} @{kill_ms:.0f} restart @{restart_ms:.0f}")
+        crashes.append(PumpCrash(
+            group=victim, kill_ms=kill_ms, restart_ms=restart_ms,
+            restart_poll_ms=15.0,
+        ))
 
     # The leased leader's fault scope is narrower by design (lease takeover
     # is out of scope, §7): it keeps committing through any fault that
@@ -108,17 +120,17 @@ def schedule_faults(rng, cluster, pumps, protocol, queue_fraction) -> list[str]:
         duration = rng.uniform(100.0, 400.0)
         if kind == "outage":
             dc = rng.choice(non_home if leased else datacenters)
-            injector.outage(dc, start, duration)
-            installed.append(f"outage {dc} @{start:.0f}+{duration:.0f}")
+            outages.append(OutageWindow(dc, start, duration))
         elif kind == "partition":
             dc_a, dc_b = non_home[:2] if leased else rng.sample(datacenters, 2)
-            injector.partition(dc_a, dc_b, start, duration)
-            installed.append(f"partition {dc_a}|{dc_b} @{start:.0f}+{duration:.0f}")
+            partitions.append(PartitionWindow(dc_a, dc_b, start, duration))
         else:
             probability = rng.uniform(0.05, 0.3)
-            injector.loss_episode(probability, start, duration)
-            installed.append(f"loss {probability:.2f} @{start:.0f}+{duration:.0f}")
-    return installed
+            losses.append(LossWindow(probability, start, duration))
+    return FaultScheduleConfig(
+        outages=tuple(outages), partitions=tuple(partitions),
+        loss_windows=tuple(losses), pump_crashes=tuple(crashes),
+    )
 
 
 @pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s:02d}" for s in SEEDS])
@@ -128,7 +140,8 @@ def test_fault_schedule_preserves_every_invariant(seed):
     pumps = {}
     if queue_fraction > 0:
         pumps = cluster.start_queue_pumps(poll_ms=15.0)
-    schedule = schedule_faults(rng, cluster, pumps, protocol, queue_fraction)
+    config = draw_fault_schedule(rng, cluster, pumps, protocol, queue_fraction)
+    schedule = install_fault_schedule(cluster, config, pumps=pumps)
     driver.start()
     cluster.run()
 
