@@ -53,6 +53,7 @@ from benchmarks.common import (
 )
 from repro.config import (
     ClusterConfig,
+    CrashWindow,
     FaultScheduleConfig,
     OutageWindow,
     PlacementConfig,
@@ -93,8 +94,21 @@ def victim_datacenter() -> str:
     return cluster_preset(CLUSTER).names[VICTIM_INDEX]
 
 
-def fault_schedule(fault: tuple[float, float]) -> FaultScheduleConfig:
+def fault_schedule(fault: tuple[float, float],
+                   kind: str = "outage") -> FaultScheduleConfig:
+    """The cell's declarative fault: one majority-preserving window.
+
+    ``kind="outage"`` severs the victim's network with memory intact;
+    ``kind="crash"`` kills the victim's replicas outright — volatile state
+    erased, restart recovering purely from durable state — so the crash
+    cells measure the cost of amnesia plus WAL replay, not just of lost
+    connectivity.
+    """
     start_ms, duration_ms = fault
+    if kind == "crash":
+        return FaultScheduleConfig(
+            crashes=(CrashWindow(victim_datacenter(), start_ms, duration_ms),)
+        )
     return FaultScheduleConfig(
         outages=(OutageWindow(victim_datacenter(), start_ms, duration_ms),)
     )
@@ -104,8 +118,9 @@ def closed_loop_spec(
     label: str, protocol: str, fault: tuple[float, float],
     n_transactions: int, n_groups: int = 1,
     cross_group_fraction: float = 0.0, queue_fraction: float = 0.0,
+    fault_kind: str = "outage",
 ) -> ExperimentSpec:
-    faults = fault_schedule(fault)
+    faults = fault_schedule(fault, kind=fault_kind)
     return ExperimentSpec(
         name=f"avail/{label}{faults.cell_suffix()}",
         cluster=ClusterConfig(
@@ -164,6 +179,13 @@ def build_grid(smoke: bool) -> list[ExperimentSpec]:
                          cross_group_fraction=0.3),
         closed_loop_spec("queue", "paxos-cp", fault, n, n_groups=4,
                          queue_fraction=0.4),
+        # Crash-restart cells: the same window, but the victim replica
+        # *dies* instead of merely dropping off the network — its volatile
+        # state is erased and recovery replays the WAL on restart.
+        closed_loop_spec("basic-crash", "paxos", fault, n,
+                         fault_kind="crash"),
+        closed_loop_spec("cp-crash", "paxos-cp", fault, n,
+                         fault_kind="crash"),
         brownout_spec(
             fault, SMOKE_OPEN_DURATION_MS if smoke else OPEN_DURATION_MS
         ),
@@ -190,11 +212,24 @@ def check_results(results: list[ExperimentResult]) -> None:
             f"{report.recovery_threshold:.0%} of its pre-fault goodput"
         )
     by_label = {result.spec.name.split("/")[1]: result for result in results}
-    for label in ("basic", "cp"):
+    for label in ("basic", "cp", "basic-crash", "cp-crash"):
         report = by_label[label].metrics.availability
         assert report.zero_windows == 0, (
             f"{label}: goodput hit zero for {report.zero_windows} full "
-            f"window(s) during a majority-preserving outage"
+            f"window(s) during a majority-preserving fault"
+        )
+    for label in ("basic-crash", "cp-crash"):
+        metrics = by_label[label].metrics
+        assert metrics.node_crashes == 1, (
+            f"{label}: expected exactly one replica crash, saw "
+            f"{metrics.node_crashes}"
+        )
+        assert metrics.node_restarts == metrics.node_crashes, (
+            f"{label}: {metrics.node_crashes} crash(es) but only "
+            f"{metrics.node_restarts} restart(s) — recovery must be finite"
+        )
+        assert math.isfinite(metrics.crash_downtime_ms), (
+            f"{label}: no crash downtime recorded"
         )
     brownout = by_label["brownout"].metrics.availability
     assert brownout.zero_windows == 0, (
@@ -225,11 +260,21 @@ def render(results: list[ExperimentResult], digest: str) -> str:
         f"{CLUSTER}, retry x{RETRY['retry_attempts']}, "
         f"deadline {RETRY['deadline_ms']:.0f} ms)"
     )
+    crash_lines = [
+        f"crash-restart {result.spec.name.split('/')[1]}: "
+        f"{result.metrics.node_crashes} crash(es), "
+        f"{result.metrics.node_restarts} restart(s), "
+        f"mean downtime {result.metrics.crash_downtime_ms:.0f} ms, "
+        f"recovery {result.metrics.availability.recovery_ms:.0f} ms"
+        for result in results
+        if result.metrics.node_crashes
+    ]
     lines = [
         title,
         format_cells(results),
         "",
         format_availability(results, title="availability"),
+        *crash_lines,
         f"metrics-digest: {digest}",
     ]
     return "\n".join(lines)

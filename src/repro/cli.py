@@ -25,6 +25,7 @@ import sys
 
 from repro.config import (
     ClusterConfig,
+    CrashWindow,
     FaultProfile,
     FaultScheduleConfig,
     LossWindow,
@@ -173,6 +174,12 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="P:START:DUR",
                         help="raise the message-loss probability to P for a "
                              "window (repeatable)")
+    parser.add_argument("--crash", action="append", default=[],
+                        metavar="DC:START:DOWN",
+                        help="crash a datacenter's service replicas at START "
+                             "ms — in-flight work dies, volatile state is "
+                             "erased — and restart them DOWN ms later to "
+                             "recover from durable state (repeatable)")
     parser.add_argument("--pump-crash", action="append", default=[],
                         metavar="GROUP:KILL[:RESTART[:POLL]]",
                         help="kill a group's queue delivery pump at KILL ms, "
@@ -241,6 +248,14 @@ def _parse_faults(args: argparse.Namespace) -> FaultScheduleConfig:
                 for value in args.loss_episode
             )
         )
+        node_crashes = tuple(
+            CrashWindow(
+                dc, number("--crash", start), number("--crash", down),
+            )
+            for dc, start, down in (
+                fields("--crash", value, 3, 3) for value in args.crash
+            )
+        )
         crashes = []
         for value in args.pump_crash:
             parts = fields("--pump-crash", value, 2, 4)
@@ -266,7 +281,7 @@ def _parse_faults(args: argparse.Namespace) -> FaultScheduleConfig:
         raise SystemExit(f"error: {error}") from None
     return FaultScheduleConfig(
         outages=outages, partitions=partitions, loss_windows=losses,
-        pump_crashes=tuple(crashes), profile=profile,
+        crashes=node_crashes, pump_crashes=tuple(crashes), profile=profile,
     )
 
 

@@ -21,6 +21,7 @@ serializability test.
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.config import ClusterConfig, ProtocolName
@@ -36,6 +37,7 @@ from repro.core.queues import (
     first_applies,
 )
 from repro.core.service import TransactionService, ordered_service_names
+from repro.errors import FaultScheduleError
 from repro.kvstore.service import StoreAccessor, StoreLatencyModel
 from repro.kvstore.store import MultiVersionStore
 from repro.kvstore.txnstatus import (
@@ -51,6 +53,7 @@ from repro.model import (
     TransactionStatusRecord,
 )
 from repro.net.latency import RttMatrixLatency
+from repro.paxos.acceptor import AcceptorState
 from repro.net.network import Network
 from repro.net.topology import Topology, cluster_preset
 from repro.sim.core import LaneStats, ShardedSimulator
@@ -82,6 +85,31 @@ from repro.wal.log import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serializability.checker import Anomaly
+
+
+@dataclass
+class CrashRecord:
+    """One service replica's crash-restart cycle.
+
+    Carries the decoded durable image taken at the crash instant — the
+    amnesia detector compares it against the store at restart (nothing may
+    change while the replica is down) and again at end of run (promises and
+    decisions may only move forward across a crash, never regress).
+    Picklable: the sharded-mp workers ship their records home with the
+    store state.
+    """
+
+    datacenter: str
+    lane: int
+    crash_ms: float
+    erased_versions: int = 0
+    killed_processes: int = 0
+    #: ``{paxos row key: (next_bal, ballot, chosen, vote_key, seq)}``.
+    durable_image: dict[str, tuple] = field(default_factory=dict, repr=False)
+    #: ``{_meta/ row key: latest attributes}`` (lease epochs, head intents).
+    meta_image: dict[str, dict] = field(default_factory=dict, repr=False)
+    restart_ms: float | None = None
+    recovery_groups: tuple[str, ...] = ()
 
 
 class Cluster:
@@ -137,6 +165,14 @@ class Cluster:
         #: sorted ``(start_ms, end_ms)`` pairs; the availability report
         #: aligns its timeline against these.
         self.fault_windows: list[tuple[float, float]] = []
+        #: One :class:`CrashRecord` per service crash, in kill order; the
+        #: amnesia detector and the harness's recovery metrics read these.
+        self.crash_records: list[CrashRecord] = []
+        #: Open crash windows per (datacenter, lane) — overlapping windows
+        #: refcount exactly like outages: a crash of an already-down
+        #: replica is absorbed into the open record, and only the last
+        #: matching restart actually reboots the node.
+        self._crash_depth: dict[tuple[str, int], int] = {}
 
         group_homes = dict(self.config.placement.group_homes or {})
         for group, dc in group_homes.items():
@@ -370,6 +406,188 @@ class Cluster:
                 book, self.shard_map.channels_for_pump(group)
             )
         return True
+
+    # ------------------------------------------------------------------
+    # Service crash-restart (the durable/volatile split, enforced)
+    # ------------------------------------------------------------------
+
+    def _durable_acceptor_image(self, store: MultiVersionStore) -> dict[str, tuple]:
+        """Decode every ``_paxos/`` row into a comparable snapshot tuple."""
+        image: dict[str, tuple] = {}
+        for key in store.keys():
+            if not key.startswith("_paxos/"):
+                continue
+            state = AcceptorState.from_version(store.read(key))
+            image[key] = (
+                state.next_bal, state.ballot, state.chosen,
+                state.value.vote_key if state.value is not None else None,
+                state.seq,
+            )
+        return image
+
+    def _meta_image(self, store: MultiVersionStore) -> dict[str, dict]:
+        """Latest attributes of every durable ``_meta/`` intent row."""
+        image: dict[str, dict] = {}
+        for key in store.keys():
+            if not key.startswith("_meta/"):
+                continue
+            version = store.read(key)
+            if version is not None:
+                image[key] = dict(version.attributes)
+        return image
+
+    def crash_service(self, datacenter: str, lane: int = 0) -> CrashRecord:
+        """Crash one service replica: kill its processes, lose its RAM.
+
+        The replica's node goes down (the network drops its traffic), every
+        tracked handler process dies mid-yield, in-flight store operations
+        are fenced (their mutations never land, like writes that missed the
+        disk), volatile store versions are erased, and the service's
+        in-memory state — replica caches, apply locks, leader claims, the
+        leased-leader host — is dropped wholesale.  What remains is exactly
+        the durable contract: ``_paxos/`` rows, ``_meta/`` intents, and the
+        preloaded base image.
+        """
+        service = self.lane_services[(datacenter, lane)]
+        store = self.lane_stores[(datacenter, lane)]
+        node = service.node
+        depth = self._crash_depth.get((datacenter, lane), 0)
+        self._crash_depth[(datacenter, lane)] = depth + 1
+        if depth:
+            # Nested crash of an already-down replica: nothing new dies,
+            # no new snapshot — the window merges into the open record.
+            return next(
+                r for r in reversed(self.crash_records)
+                if r.datacenter == datacenter and r.lane == lane
+                and r.restart_ms is None
+            )
+        record = CrashRecord(
+            datacenter=datacenter, lane=lane, crash_ms=self.env.now,
+            durable_image=self._durable_acceptor_image(store),
+            meta_image=self._meta_image(store),
+        )
+        service.accessor.fence()
+        node.down = True
+        record.killed_processes = node.kill_tracked("injected crash")
+        node._pending.clear()
+        record.erased_versions = store.erase_volatile()
+        service.crash_reset()
+        self.crash_records.append(record)
+        return record
+
+    def restart_service(self, datacenter: str, lane: int = 0) -> CrashRecord:
+        """Restart a crashed replica; recover purely from durable state.
+
+        First re-checks the durable image against the crash-time snapshot —
+        a down replica accepts no traffic and runs no processes, so *any*
+        difference is an amnesia-detector violation.  Then the node comes
+        back up, the leased-leader host bumps its incarnation and starts
+        its lease wait-out, and one recovery process per durable group
+        replays the WAL (Paxos catch-up filling gaps) to rebuild the
+        volatile projections.
+        """
+        service = self.lane_services[(datacenter, lane)]
+        store = self.lane_stores[(datacenter, lane)]
+        record = next(
+            (r for r in reversed(self.crash_records)
+             if r.datacenter == datacenter and r.lane == lane
+             and r.restart_ms is None),
+            None,
+        )
+        if record is None:
+            raise FaultScheduleError(
+                f"restart_service({datacenter!r}, lane={lane}) without a "
+                f"matching crash"
+            )
+        depth = self._crash_depth.get((datacenter, lane), 1) - 1
+        self._crash_depth[(datacenter, lane)] = depth
+        if depth:
+            # An overlapping crash window still holds this replica down;
+            # only the last matching restart reboots it.
+            return record
+        violations = self._image_drift(record, store)
+        if violations:
+            raise InvariantViolation(violations)
+        service.node.down = False
+        record.restart_ms = self.env.now
+        if service.lease_host is not None:
+            service.lease_host.on_restart(self.env.now)
+        record.recovery_groups = tuple(sorted(service.spawn_recovery()))
+        return record
+
+    def _image_drift(self, record: CrashRecord,
+                     store: MultiVersionStore) -> list[str]:
+        """Durable-state changes between a crash and its restart (must be
+        none: the replica was down, so nothing may have written its store)."""
+        violations: list[str] = []
+        for label, snapshot, current in (
+            ("acceptor", record.durable_image, self._durable_acceptor_image(store)),
+            ("meta", record.meta_image, self._meta_image(store)),
+        ):
+            if snapshot == current:
+                continue
+            changed = sorted(
+                key for key in (set(snapshot) | set(current))
+                if snapshot.get(key) != current.get(key)
+            )
+            violations.append(
+                f"(amnesia) {store.name}: durable {label} state changed "
+                f"while the replica was down "
+                f"({record.crash_ms:.0f}..{self.env.now:.0f}ms): "
+                f"{changed[:5]}"
+            )
+        return violations
+
+    def check_crash_amnesia(self) -> list[str]:
+        """End-of-run amnesia detector, over every crash of the run.
+
+        For each crash, the durable acceptor state snapshotted at the kill
+        instant must still be honoured by the final store: no promise
+        (``nextBal``) regression, no ``seq`` regression, no vanished row,
+        and every value chosen before the crash still chosen, unchanged.
+        Any of these would mean a restarted replica forgot a durable
+        promise — the failure mode that lets Paxos double-decide.
+        """
+        violations: list[str] = []
+        for record in self.crash_records:
+            store = self.lane_stores[(record.datacenter, record.lane)]
+            final = self._durable_acceptor_image(store)
+            stamp = f"the crash of {store.name} at {record.crash_ms:.0f}ms"
+            for key, snap in sorted(record.durable_image.items()):
+                next_bal, _ballot, chosen, vote_key, seq = snap
+                now_state = final.get(key)
+                if now_state is None:
+                    violations.append(
+                        f"(amnesia) durable row {key} vanished across {stamp}"
+                    )
+                    continue
+                f_next, _f_ballot, f_chosen, f_vote, f_seq = now_state
+                if f_next < next_bal:
+                    violations.append(
+                        f"(amnesia) {key}: promise regressed "
+                        f"{next_bal} -> {f_next} across {stamp}"
+                    )
+                if seq is not None and (f_seq is None or f_seq < seq):
+                    violations.append(
+                        f"(amnesia) {key}: seq regressed {seq} -> {f_seq} "
+                        f"across {stamp}"
+                    )
+                if chosen and not f_chosen:
+                    violations.append(
+                        f"(amnesia) {key}: chosen value forgotten across {stamp}"
+                    )
+                elif chosen and f_vote != vote_key:
+                    violations.append(
+                        f"(amnesia) {key}: chosen value changed "
+                        f"{vote_key} -> {f_vote} across {stamp}"
+                    )
+            if record.restart_ms is None:
+                violations.append(
+                    f"(amnesia) {record.datacenter} lane {record.lane} "
+                    f"crashed at {record.crash_ms:.0f}ms and never restarted "
+                    f"(recovery must be finite)"
+                )
+        return violations
 
     def lane_profile(self) -> "LaneStats | None":
         """Per-lane kernel statistics (sharded kernel only)."""
@@ -1026,6 +1244,9 @@ class Cluster:
                 )
                 if violations:
                     raise InvariantViolation(violations)
+        amnesia = self.check_crash_amnesia()
+        if amnesia:
+            raise InvariantViolation(amnesia)
         self._anomalies = self._classify_anomalies(by_group, logs, decisions)
         self.finish_global_checks(cross_outcomes, logs, decisions, queue_active)
         return decisions

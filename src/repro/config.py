@@ -167,6 +167,13 @@ class ProtocolConfig:
         drivers record as a ``timeout`` abort (a *typed* terminal outcome,
         distinct from ``service_unavailable``).  ``None`` (default) never
         gives up on time.
+    lease_ms:
+        Leased-leader lease term (§7).  A leader that crashes may still hold
+        an unexpired lease; its restarted self must *wait the full term out*
+        before serving again, because it cannot prove the lease expired —
+        that wait is what makes a leader crash split-brain-free.  The term
+        also bounds how stale a surviving replica's knowledge of the leader
+        can be.
     """
 
     timeout_ms: float = 2000.0
@@ -183,6 +190,7 @@ class ProtocolConfig:
     retry_backoff_cap_ms: float = 40.0
     retry_multiplier: float = 2.0
     deadline_ms: float | None = None
+    lease_ms: float = 500.0
 
     def without_cp(self) -> "ProtocolConfig":
         """This config with both CP enhancements off (plain Paxos behaviour)."""
@@ -292,6 +300,35 @@ class PumpCrash:
 
 
 @dataclass(frozen=True)
+class CrashWindow:
+    """One service-replica crash-restart cycle: kill every process of
+    *datacenter*'s service nodes at ``start_ms``, erase their **volatile**
+    state (learner caches, apply projections, leases, in-flight handlers),
+    and restart them ``restart_after_ms`` later to recover purely from
+    durable state — the WAL and the acceptor table (Spinnaker-style
+    recovery, arXiv:1103.2408).
+
+    Unlike an :class:`OutageWindow` (connectivity loss with memory intact),
+    a crash is amnesia: everything not explicitly durable is gone.  The
+    amnesia-detector invariant then enforces that the durable half really
+    survived — no promise or accepted-value regression across the restart.
+    """
+
+    datacenter: str
+    start_ms: float
+    restart_after_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise ValueError(f"crash start_ms must be >= 0, got {self.start_ms}")
+        if self.restart_after_ms <= 0:
+            raise ValueError(
+                f"crash restart_after_ms must be > 0 (the replica must come "
+                f"back so recovery is measurable), got {self.restart_after_ms}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultProfile:
     """A seed-derived random fault schedule (MTTF/MTTR renewal process).
 
@@ -308,7 +345,7 @@ class FaultProfile:
     mttf_ms: float
     mttr_ms: float
     horizon_ms: float
-    kind: Literal["outage", "loss"] = "outage"
+    kind: Literal["outage", "loss", "crash"] = "outage"
     loss_probability: float = 0.2
     spare_home: bool = True
 
@@ -317,8 +354,10 @@ class FaultProfile:
             raise ValueError(
                 "fault profile needs positive mttf_ms, mttr_ms and horizon_ms"
             )
-        if self.kind not in ("outage", "loss"):
-            raise ValueError(f"fault profile kind must be outage|loss, got {self.kind!r}")
+        if self.kind not in ("outage", "loss", "crash"):
+            raise ValueError(
+                f"fault profile kind must be outage|loss|crash, got {self.kind!r}"
+            )
         if not 0.0 <= self.loss_probability <= 1.0:
             raise ValueError(
                 f"loss_probability must be in [0,1], got {self.loss_probability}"
@@ -343,12 +382,13 @@ class FaultScheduleConfig:
     partitions: tuple[PartitionWindow, ...] = ()
     loss_windows: tuple[LossWindow, ...] = ()
     pump_crashes: tuple[PumpCrash, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
     profile: FaultProfile | None = None
 
     def is_empty(self) -> bool:
         return not (
             self.outages or self.partitions or self.loss_windows
-            or self.pump_crashes or self.profile is not None
+            or self.pump_crashes or self.crashes or self.profile is not None
         )
 
     def cell_suffix(self) -> str:
@@ -365,6 +405,8 @@ class FaultScheduleConfig:
             parts += f"{len(self.loss_windows)}l"
         if self.pump_crashes:
             parts += f"{len(self.pump_crashes)}k"
+        if self.crashes:
+            parts += f"{len(self.crashes)}c"
         if self.profile is not None:
             parts += f"mttf{self.profile.mttf_ms:g}"
         return f"/faults-{parts}"

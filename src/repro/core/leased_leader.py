@@ -18,16 +18,38 @@ it against Paxos-CP:
 * The leader performs a *fine-grained* conflict check — the transaction's
   read set against the writes committed after its read position (the same
   reads-from predicate Paxos-CP uses) — assigns the next log position, and
-  replicates the entry with one ACCEPT round at its fixed high ballot
+  replicates the entry with one ACCEPT round at its lease ballot
   (multi-Paxos steady state: no prepare needed while the lease holds).
 * Total message rounds per commit: client→leader, leader→replicas,
   replicas→leader, leader→client — matching the §7 claim of fewer rounds.
 
-Scope note: lease takeover after a leader crash is deliberately out of
-scope (the paper defers the design too); the fault-tolerance benchmarks use
-the two Paxos protocols.  The fixed leader ballot outranks every ballot the
-client protocols generate in practice, which is what "holding the lease"
-means here.
+**Crash safety.**  The leader's ordering state (next position, recent
+writes, per-group locks) is volatile; what survives a crash is durable and
+small:
+
+* the **lease incarnation** (``_meta/lease_epoch/<node>``) — bumped on every
+  restart, it makes the lease ballot ``Ballot(LEASE_ROUND + incarnation,
+  node)`` strictly outrank every ballot the previous incarnation ever used,
+  so stale in-flight ACCEPTs from before the crash can never override the
+  restarted leader;
+* the **head intent** (``_meta/lease_head/<group>``) — written *before* the
+  ACCEPT round for an assigned position, it upper-bounds the slots the
+  previous incarnation may have touched, so recovery knows exactly how far
+  to walk.
+
+On restart the leader first **waits out the lease** it cannot prove expired
+(``lease_ms`` from the restart instant): until then every commit request is
+refused with :data:`~repro.model.AbortReason.SERVICE_UNAVAILABLE`, which is
+what rules out a dual-leader window — the new incarnation serves nothing
+while decisions of the old one could still be in flight.  The first commit
+per group then runs a **prepare-fenced recovery walk** over the slots
+between the locally-applied prefix and the durable head intent: each slot
+is completed with a full synod round at the new incarnation's ballot
+(already-decided values are learned, the highest-ballot vote is adopted,
+and a slot no acceptor in the prepare quorum ever voted in is filled with
+a no-op — the fence guarantees the old ballot can never reach a majority
+there, and the fill keeps the log contiguous).  Only after the walk does
+position assignment resume, from above the head.
 """
 
 from __future__ import annotations
@@ -38,7 +60,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.model import AbortReason, Item, Transaction, TransactionStatus
 from repro.core.protocol import PaxosCommitBase
 from repro.paxos.ballot import Ballot
-from repro.paxos.proposer import SynodProposer
+from repro.paxos.proposer import PhaseOutcome, SynodProposer
 from repro.sim.sync import Lock
 from repro.wal.entry import LogEntry
 
@@ -49,8 +71,20 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Message type for the single-round leader commit.
 LEADER_COMMIT = "leader.commit"
 
-#: The lease ballot: above anything client retry loops generate.
+#: Base of the lease ballot round: above anything client retry loops
+#: generate.  The effective round is ``LEASE_ROUND + incarnation``, so each
+#: restart outranks all of the previous incarnation's traffic.
 LEASE_ROUND = 1_000_000
+
+
+def lease_epoch_key(node_name: str) -> str:
+    """Durable row holding a leader node's lease incarnation counter."""
+    return f"_meta/lease_epoch/{node_name}"
+
+
+def lease_head_key(group: str) -> str:
+    """Durable row holding the highest position the leader ever assigned."""
+    return f"_meta/lease_head/{group}"
 
 
 @dataclass(frozen=True)
@@ -66,37 +100,188 @@ class LeaderCommitReply:
 
 
 class GroupLeaderState:
-    """Per-group ordering state at the leader site."""
+    """Per-group ordering state at the leader site (volatile)."""
 
     def __init__(self, env) -> None:
         self.lock = Lock(env)
         self.next_position: int | None = None
+        #: Whether the recovery walk for this group has completed this
+        #: incarnation.  A fresh (never-crashed) leader's walk is empty —
+        #: its head intent matches the applied prefix.
+        self.recovered = False
         #: Writes of entries assigned but possibly not yet applied locally,
         #: keyed by position — consulted by the conflict check so pipelined
         #: commits see each other.
         self.recent_writes: dict[int, frozenset[Item]] = {}
 
 
-def install_leased_leader(service: "TransactionService") -> None:
-    """Register the leader-commit handler on a Transaction Service."""
-    states: dict[str, GroupLeaderState] = {}
+class LeasedLeaderHost:
+    """Leader-side state machine, crash-restart aware.
 
-    def state_for(group: str) -> GroupLeaderState:
-        state = states.get(group)
+    All in-memory state here (``states``, the cached incarnation, the
+    serve-after gate) is volatile and reset wholesale by
+    :meth:`on_crash` / :meth:`on_restart`; everything recovery needs lives
+    under the store's durable ``_meta/`` and ``_paxos/`` prefixes.
+    """
+
+    #: Re-send cadence for an assigned slot whose first ACCEPT round
+    #: failed, and the attempt cap (generous: every fault schedule in the
+    #: repo heals orders of magnitude sooner).
+    SETTLE_SPACING_MS = 100.0
+    MAX_SETTLE_ATTEMPTS = 64
+
+    def __init__(self, service: "TransactionService") -> None:
+        self.service = service
+        self.states: dict[str, GroupLeaderState] = {}
+        self._incarnation: int | None = None
+        #: Until this simulated instant, commit requests are refused — the
+        #: restarted leader waits out any lease it cannot prove expired.
+        self.serve_after_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Crash-restart hooks (driven by Cluster.crash_service/restart_service)
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Drop every piece of volatile leader state.
+
+        Fresh :class:`GroupLeaderState` objects also replace the per-group
+        locks: a lock whose holder was killed mid-critical-section would
+        otherwise grant to (or starve behind) dead waiters.
+        """
+        self.states = {}
+        self._incarnation = None
+
+    def on_restart(self, now: float) -> None:
+        """Bump the durable incarnation and start the lease wait-out."""
+        store = self.service.store
+        key = lease_epoch_key(self.service.node.name)
+        incarnation = store.read_attribute(key, "incarnation", default=0) + 1
+        store.write(key, {"incarnation": incarnation})
+        self._incarnation = incarnation
+        self.serve_after_ms = now + self.service.config.lease_ms
+
+    def ballot(self) -> Ballot:
+        """The lease ballot of the current incarnation."""
+        if self._incarnation is None:
+            self._incarnation = self.service.store.read_attribute(
+                lease_epoch_key(self.service.node.name),
+                "incarnation", default=0,
+            )
+        return Ballot(LEASE_ROUND + self._incarnation, self.service.node.name)
+
+    # ------------------------------------------------------------------
+    # Durable intents
+    # ------------------------------------------------------------------
+
+    def _write_head_intent(self, group: str, position: int) -> None:
+        """Durably record *position* as assigned, before its ACCEPT round.
+
+        Monotone and synchronous (no latency model): positions are assigned
+        under the group lock in increasing order, and the write must be on
+        disk before any replica can vote on the slot — otherwise a crash
+        between assignment and broadcast would leave a slot recovery does
+        not know to walk.
+        """
+        key = lease_head_key(group)
+        store = self.service.store
+        if position > store.read_attribute(key, "head", default=0):
+            store.write(key, {"head": position})
+
+    # ------------------------------------------------------------------
+    # Recovery walk
+    # ------------------------------------------------------------------
+
+    def _recover_group(self, group: str, state: GroupLeaderState) -> Generator:
+        """Complete every slot up to the durable head intent; returns bool.
+
+        Runs under the group lock, once per (group, incarnation).  Each
+        unknown slot gets a full synod round at the incarnation ballot: the
+        prepare fences a majority against the previous incarnation, then
+        the highest-ballot vote (if any) is re-proposed — so a value the
+        old leader drove to a majority is preserved — and a slot with no
+        vote in the fenced quorum is settled with a no-op fill (it can
+        never decide at the old ballot once the fence holds).
+        """
+        service = self.service
+        replica = service.replica(group)
+        head = service.store.read_attribute(
+            lease_head_key(group), "head", default=0
+        )
+        ballot = self.ballot()
+        for slot in range(replica.read_position() + 1, head + 1):
+            if replica.is_chosen(slot):
+                continue
+            proposer = SynodProposer(
+                service.node, group, slot,
+                service._peers or [service.node.name], service.config,
+            )
+            prepare = yield from proposer.prepare(ballot)
+            if prepare.chosen is not None:
+                replica.record_chosen(slot, prepare.chosen)
+                continue
+            if prepare.successes < proposer.majority:
+                return False
+            value = self._highest_prepare_vote(prepare)
+            if value is None:
+                # No acceptor in the fenced quorum ever voted here: the old
+                # incarnation's value can no longer decide, so fill the slot
+                # with the classic multi-Paxos no-op to keep the log
+                # contiguous (L3) without applying anything.
+                value = LogEntry.noop()
+            accept = yield from proposer.accept(ballot, value)
+            if accept.successes < proposer.majority:
+                return False
+            proposer.apply(ballot, value)
+            replica.record_chosen(slot, value)
+        state.next_position = max(head, replica.read_position()) + 1
+        state.recovered = True
+        return True
+
+    @staticmethod
+    def _highest_prepare_vote(prepare: PhaseOutcome) -> "LogEntry | None":
+        """The highest-ballot last vote among the prepare replies."""
+        best_ballot = None
+        best_value: "LogEntry | None" = None
+        for _src, reply in prepare.replies:
+            if reply.last_value is None:
+                continue
+            if best_ballot is None or reply.last_ballot > best_ballot:
+                best_ballot, best_value = reply.last_ballot, reply.last_value
+        return best_value
+
+    # ------------------------------------------------------------------
+    # The commit handler
+    # ------------------------------------------------------------------
+
+    def state_for(self, group: str) -> GroupLeaderState:
+        state = self.states.get(group)
         if state is None:
-            state = GroupLeaderState(service.env)
-            states[group] = state
+            state = GroupLeaderState(self.service.env)
+            self.states[group] = state
         return state
 
-    def on_leader_commit(msg) -> Generator:
+    def on_leader_commit(self, msg) -> Generator:
         request: LeaderCommitRequest = msg.payload
         txn = request.transaction
-        state = state_for(txn.group)
+        service = self.service
+        if service.env.now < self.serve_after_ms:
+            # Lease wait-out: the restarted leader must not serve while a
+            # lease it cannot prove expired could still be honoured.
+            return LeaderCommitReply(
+                TransactionStatus.ABORTED,
+                reason=AbortReason.SERVICE_UNAVAILABLE,
+            )
+        state = self.state_for(txn.group)
         yield state.lock.acquire()
         try:
             replica = service.replica(txn.group)
-            if state.next_position is None:
-                state.next_position = replica.read_position() + 1
+            if not state.recovered:
+                recovered = yield from self._recover_group(txn.group, state)
+                if not recovered:
+                    return LeaderCommitReply(
+                        TransactionStatus.ABORTED, reason=AbortReason.TIMEOUT
+                    )
             # Fine-grained conflict check: the transaction's reads against
             # every write committed (or assigned) after its read position.
             for position in range(txn.read_position + 1, state.next_position):
@@ -113,11 +298,12 @@ def install_leased_leader(service: "TransactionService") -> None:
             position = state.next_position
             state.next_position = position + 1
             state.recent_writes[position] = txn.write_set
+            self._write_head_intent(txn.group, position)
         finally:
             state.lock.release()
 
         entry = LogEntry.single(txn)
-        ballot = Ballot(LEASE_ROUND, service.node.name)
+        ballot = self.ballot()
         proposer = SynodProposer(
             service.node, txn.group, position,
             service._peers or [service.node.name], service.config,
@@ -127,15 +313,56 @@ def install_leased_leader(service: "TransactionService") -> None:
             proposer.apply(ballot, entry)
             return LeaderCommitReply(TransactionStatus.COMMITTED, position=position)
         # Could not replicate (e.g. partition): report a timeout abort.  The
-        # slot is not reused; a no-op-free gap is avoided because nothing
-        # was decided, and the next assignment proceeds from the next slot
-        # only if this one eventually decides — for the benchmark scope we
-        # simply abort and surrender the lease slot.
+        # slot is not reused — its head intent is durable — so a background
+        # settle process keeps re-sending the ACCEPT until the slot decides
+        # (the multi-Paxos leader's re-send; the value may land after the
+        # client's timeout, which the lenient-timeout reading of L1 covers).
+        # If this leader crashes first, the settle process dies with it and
+        # the next incarnation's recovery walk fences and settles the slot.
+        process = service.env.process(
+            self._settle_slot(txn.group, position, ballot, entry),
+            name=f"{service.node.name}:settle:{txn.group}:{position}",
+            lane=service.lane,
+        )
+        service.node.adopt(process)
         return LeaderCommitReply(
             TransactionStatus.ABORTED, reason=AbortReason.TIMEOUT
         )
 
-    service.node.on(LEADER_COMMIT, on_leader_commit)
+    def _settle_slot(self, group: str, position: int, ballot: Ballot,
+                     entry: LogEntry) -> Generator:
+        """Re-send the ACCEPT for an assigned slot until it decides.
+
+        The value and ballot never change, so every re-send is idempotent
+        Paxos traffic: the slot can only decide this entry (or a later
+        incarnation's fenced settlement), never a second value.  Without
+        this, a transient loss of the majority would leave a permanent gap
+        in the log below already-decided positions — breaking (L3) log
+        contiguity even though no safety rule was violated.
+        """
+        service = self.service
+        replica = service.replica(group)
+        proposer = SynodProposer(
+            service.node, group, position,
+            service._peers or [service.node.name], service.config,
+        )
+        for _attempt in range(self.MAX_SETTLE_ATTEMPTS):
+            yield service.env.timeout(self.SETTLE_SPACING_MS)
+            if replica.is_chosen(position):
+                return
+            accept = yield from proposer.accept(ballot, entry)
+            if accept.successes >= proposer.majority:
+                proposer.apply(ballot, entry)
+                replica.record_chosen(position, entry)
+                return
+
+
+def install_leased_leader(service: "TransactionService") -> LeasedLeaderHost:
+    """Attach a :class:`LeasedLeaderHost` to a Transaction Service."""
+    host = LeasedLeaderHost(service)
+    service.lease_host = host
+    service.node.on(LEADER_COMMIT, host.on_leader_commit)
+    return host
 
 
 class LeasedLeaderCommit(PaxosCommitBase):

@@ -142,6 +142,8 @@ class TransactionService:
         self._leader_claims: dict[tuple[str, int], str] = {}
         self._peers: list[str] = []
         self._decision_peers: list[str] = []
+        #: Set by :func:`repro.core.leased_leader.install_leased_leader`.
+        self.lease_host = None
         self._register_handlers()
 
     def set_peers(self, service_names: list[str],
@@ -383,6 +385,62 @@ class TransactionService:
         if entry is not None:
             self.replica(group).record_chosen(position, entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # Crash-restart recovery
+    # ------------------------------------------------------------------
+
+    def crash_reset(self) -> None:
+        """Drop every piece of volatile service state (the crash's RAM loss).
+
+        Replicas carry the chosen-entry cache, the applied watermark, and
+        the read-position hint; the apply locks may be held by (or queued
+        with) processes the crash killed; the leader-claim table and the
+        leased-leader host state are in-memory by design.  All of it is
+        rebuilt from the durable ``_paxos/`` rows by :meth:`spawn_recovery`
+        and by the normal lazy paths.
+        """
+        self._replicas = {}
+        self._apply_locks = {}
+        self._leader_claims = {}
+        if self.lease_host is not None:
+            self.lease_host.on_crash()
+
+    def durable_groups(self) -> list[str]:
+        """Groups with durable Paxos state in this store, decision
+        instances excluded (their projection recovers lazily through
+        :meth:`_resolve_decision` from the durable decision rows)."""
+        groups: set[str] = set()
+        for key in self.store.keys():
+            if key.startswith("_paxos/"):
+                groups.add(key[len("_paxos/"):].rsplit("/", 1)[0])
+        return sorted(g for g in groups if not is_decision_group(g))
+
+    def spawn_recovery(self) -> "dict[str, Any]":
+        """Rebuild the volatile apply projections after a restart.
+
+        One background process per durable group replays the WAL through
+        the highest locally-chosen position — :meth:`_ensure_applied` does
+        the work, so gaps below it run the ordinary Paxos catch-up against
+        the peer replicas and the row/txn-status/delivery projections come
+        back exactly as the apply path originally built them.  Returns
+        ``{group: process}``; the processes are adopted into the node's
+        tracked set so a second crash kills in-flight recovery too.
+        """
+        processes: dict[str, Any] = {}
+        for group in self.durable_groups():
+            target = self.replica(group).max_chosen_position()
+            process = self.env.process(
+                self._recover_group(group, target),
+                name=f"{self.node.name}:recover:{group}",
+                lane=self.lane,
+            )
+            self.node.adopt(process)
+            processes[group] = process
+        return processes
+
+    def _recover_group(self, group: str, target: int) -> Generator:
+        yield from self._ensure_applied(group, target)
 
     # ------------------------------------------------------------------
     # Introspection for tests and the harness

@@ -179,6 +179,66 @@ class FailureInjector:
         )
 
     # ------------------------------------------------------------------
+    # Crash-restart (processes die, volatile state is lost)
+    # ------------------------------------------------------------------
+
+    def crash_restart(
+        self,
+        what: str,
+        kill_ms: float,
+        kill: Callable[[], None],
+        restart_ms: float | None = None,
+        restart: Callable[[], None] | None = None,
+        lane: int | None = None,
+    ) -> None:
+        """The generic kill/restart pair: *kill* fires at ``kill_ms`` and
+        *restart* (when given) at ``restart_ms``, both in *lane*.
+
+        This is the one path every crash goes through — queue-pump crashes
+        (kill the pump process, start a fresh pump) and service-replica
+        crashes (kill the replica's handler processes + erase volatile
+        state, then recover from durable state) differ only in the actions
+        they pass in.
+        """
+        self._at(kill_ms, kill, f"crash {what}", lane=lane)
+        if restart is not None:
+            if restart_ms is None:
+                raise FaultScheduleError(
+                    f"crash_restart({what!r}) has a restart action but no "
+                    f"restart_ms"
+                )
+            self._at(restart_ms, restart, f"restart {what}", lane=lane)
+
+    def crash(self, datacenter: str, start_ms: float,
+              restart_after_ms: float) -> None:
+        """Crash-restart *datacenter*'s service replicas (every lane).
+
+        At ``start_ms`` each lane's service node is killed — in-flight
+        handler processes die, volatile state (learner caches, apply
+        projections, leases) is erased — and at ``start_ms +
+        restart_after_ms`` it restarts, recovering purely from durable
+        state (the WAL + acceptor table).  Each lane's replica is a
+        distinct node, so the kill/restart actions are lane-local; like
+        the network faults, one log line per declared crash.
+        """
+        cluster = self.cluster
+        # Arm process tracking on the victim's nodes at declaration time:
+        # a crash must kill in-flight handler processes, and tracking is
+        # opt-in so fault-free runs keep delivery tracking-free.
+        for lane in range(self.env.lane_count):
+            cluster.lane_services[(datacenter, lane)].node.track_processes()
+        self._at_every_lane(
+            start_ms,
+            lambda lane: cluster.crash_service(datacenter, lane),
+            f"crash {datacenter}",
+        )
+        self._at_every_lane(
+            start_ms + restart_after_ms,
+            lambda lane: cluster.restart_service(datacenter, lane),
+            f"restart {datacenter}",
+        )
+
+    # ------------------------------------------------------------------
     # Client crashes
     # ------------------------------------------------------------------
 

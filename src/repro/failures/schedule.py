@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.config import FaultScheduleConfig, LossWindow, OutageWindow
+from repro.config import (
+    CrashWindow,
+    FaultScheduleConfig,
+    LossWindow,
+    OutageWindow,
+)
 from repro.errors import FaultScheduleError
 from repro.failures.injector import FailureInjector
 
@@ -59,6 +64,7 @@ def materialize(
     rng = cluster.env.rng.stream(PROFILE_STREAM)
     outages = list(schedule.outages)
     losses = list(schedule.loss_windows)
+    crashes = list(schedule.crashes)
     now = rng.expovariate(1.0 / profile.mttf_ms)
     while now < profile.horizon_ms:
         duration = rng.expovariate(1.0 / profile.mttr_ms)
@@ -66,6 +72,10 @@ def materialize(
         victim = rng.choice(victims)
         if profile.kind == "outage":
             outages.append(OutageWindow(victim, now, duration))
+        elif profile.kind == "crash":
+            # A zero-length down window would make restart coincide with
+            # the kill; the clamp keeps restart_after_ms strictly positive.
+            crashes.append(CrashWindow(victim, now, max(duration, 1e-9)))
         else:
             losses.append(LossWindow(profile.loss_probability, now, duration))
         now += duration + rng.expovariate(1.0 / profile.mttf_ms)
@@ -73,7 +83,7 @@ def materialize(
 
     return replace(
         schedule, outages=tuple(outages), loss_windows=tuple(losses),
-        profile=None,
+        crashes=tuple(crashes), profile=None,
     )
 
 
@@ -94,6 +104,12 @@ def _validate(schedule: FaultScheduleConfig, cluster: "Cluster",
                     f"partition names unknown datacenter {dc!r}; this "
                     f"deployment has {sorted(datacenters)}"
                 )
+    for crash in schedule.crashes:
+        if crash.datacenter not in datacenters:
+            raise FaultScheduleError(
+                f"crash names unknown datacenter {crash.datacenter!r}; "
+                f"this deployment has {sorted(datacenters)}"
+            )
     if schedule.pump_crashes and not pumps:
         raise FaultScheduleError(
             "pump_crashes need running delivery pumps (a workload with "
@@ -108,14 +124,20 @@ def _validate(schedule: FaultScheduleConfig, cluster: "Cluster",
 
 
 def fault_span(schedule: FaultScheduleConfig) -> list[tuple[float, float]]:
-    """The network-fault windows of a (materialized) schedule, as
-    ``(start_ms, end_ms)`` pairs — what the availability report aligns its
-    timeline against.  Pump crashes are excluded: they degrade delivery
-    lag, not commit availability."""
+    """The availability-relevant fault windows of a (materialized)
+    schedule, as ``(start_ms, end_ms)`` pairs — what the availability
+    report aligns its timeline against.  Service-replica crash windows
+    count (a dead replica costs quorum latency and recovery time); pump
+    crashes are excluded — they degrade delivery lag, not commit
+    availability."""
     windows = [
         (w.start_ms, w.start_ms + w.duration_ms)
         for w in (*schedule.outages, *schedule.partitions, *schedule.loss_windows)
     ]
+    windows.extend(
+        (c.start_ms, c.start_ms + c.restart_after_ms)
+        for c in schedule.crashes
+    )
     return sorted(windows)
 
 
@@ -161,31 +183,53 @@ def install_fault_schedule(
         )
     for crash in schedule.pump_crashes:
         process = pumps[crash.group]  # _validate guaranteed membership
-        injector.kill_process_at(process, crash.kill_ms)
+        _install_pump_crash(cluster, injector, crash, process)
         installed.append(f"pump-crash {crash.group} @{crash.kill_ms:.0f}")
         if crash.restart_ms is not None:
-            _schedule_pump_restart(cluster, injector, crash, process)
             installed.append(
                 f"pump-restart {crash.group} @{crash.restart_ms:.0f}"
             )
+    for crash in schedule.crashes:
+        injector.crash(crash.datacenter, crash.start_ms,
+                       crash.restart_after_ms)
+        installed.append(
+            f"crash {crash.datacenter} "
+            f"@{crash.start_ms:.0f}+{crash.restart_after_ms:.0f}"
+        )
     cluster.fault_windows.extend(fault_span(schedule))
     cluster.fault_windows.sort()
     return installed
 
 
-def _schedule_pump_restart(
+def _install_pump_crash(
     cluster: "Cluster", injector: FailureInjector, crash, process,
 ) -> None:
-    """Arm a fresh pump for the crashed group at ``restart_ms``.
+    """One pump crash-restart pair through the generic crash machinery.
 
-    Fires in the dead pump's own lane; ``start_queue_pump`` re-arms the new
-    pump's promise-book slot itself when the sharded kernel runs with
-    promises, so a restart mid-run stays lookahead-safe.
+    Both effects fire in the victim pump's own lane (a pump is lane-local;
+    mid-run cross-lane scheduling is the coupling conservative lookahead
+    forbids).  ``start_queue_pump`` re-arms the new pump's promise-book
+    slot itself when the sharded kernel runs with promises, so a restart
+    mid-run stays lookahead-safe.
     """
+    if cluster.env.lane_count > 1:
+        executing = cluster.env.sim.executing_lane
+        if executing is not None and executing != process.lane:
+            raise FaultScheduleError(
+                f"pump crash for {crash.group!r} declared mid-run from "
+                f"lane {executing} against lane {process.lane} on a "
+                f"sharded kernel; declare crashes before the run"
+            )
     poll_ms = crash.restart_poll_ms
-    injector._at(
-        crash.restart_ms,
-        lambda: cluster.start_queue_pump(crash.group, poll_ms=poll_ms),
-        f"pump restart {crash.group}",
+    restart = None
+    if crash.restart_ms is not None:
+        def restart() -> None:
+            cluster.start_queue_pump(crash.group, poll_ms=poll_ms)
+    injector.crash_restart(
+        f"pump {crash.group}",
+        crash.kill_ms,
+        lambda: process.kill("injected crash"),
+        restart_ms=crash.restart_ms,
+        restart=restart,
         lane=process.lane,
     )

@@ -12,6 +12,7 @@ present the average here").
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from statistics import fmean
 from typing import TYPE_CHECKING
 
 from repro.cluster import Cluster
@@ -274,6 +275,17 @@ def finish_run(
         metrics.availability = availability_report(
             metrics.timeline, cluster.fault_windows
         )
+    if cluster.crash_records:
+        metrics.node_crashes = len(cluster.crash_records)
+        restarted = [
+            record for record in cluster.crash_records
+            if record.restart_ms is not None
+        ]
+        metrics.node_restarts = len(restarted)
+        if restarted:
+            metrics.crash_downtime_ms = fmean(
+                record.restart_ms - record.crash_ms for record in restarted
+            )
     stats = cluster.lane_profile()
     lane_profile = None
     if stats is not None:

@@ -547,6 +547,8 @@ class LogStats:
     prepare_entries: int = 0
     marker_entries: int = 0
     queue_apply_entries: int = 0
+    #: Gap fills a recovering leader proposed for voteless slots.
+    noop_entries: int = 0
 
     @classmethod
     def from_log(cls, log: Mapping[Hashable, LogEntry]) -> "LogStats":
@@ -562,6 +564,9 @@ class LogStats:
                 continue
             if entry.kind == "queue_apply":
                 stats.queue_apply_entries += 1
+                continue
+            if entry.kind == "noop":
+                stats.noop_entries += 1
                 continue
             if len(entry) > 1:
                 stats.combined_entries += 1
@@ -615,6 +620,13 @@ class RunMetrics:
     #: Timeline aligned against the installed fault windows; ``None`` for
     #: fault-free runs.  Filled by ``finish_run``.
     availability: AvailabilityReport | None = None
+    #: Service crash-restart slice of the run: injected replica crashes
+    #: (one per victim lane), completed restarts, and the mean down window.
+    #: Filled by ``finish_run`` from the cluster's crash records; zeros and
+    #: NaN on crash-free runs.
+    node_crashes: int = 0
+    node_restarts: int = 0
+    crash_downtime_ms: float = float("nan")
 
     @property
     def aborts(self) -> int:
@@ -885,6 +897,11 @@ def aggregate_metrics(trials: list[RunMetrics]) -> RunMetrics:
         cause: round(fmean(t.dropped_messages.get(cause, 0) for t in trials))
         for cause in sorted(causes)
     }
+    result.node_crashes = round(fmean(t.node_crashes for t in trials))
+    result.node_restarts = round(fmean(t.node_restarts for t in trials))
+    result.crash_downtime_ms = _safe_mean(
+        [t.crash_downtime_ms for t in trials]
+    )
     reports = [t.availability for t in trials if t.availability is not None]
     if reports:
         # Zero-windows round *up* (any unavailability stays visible) and a

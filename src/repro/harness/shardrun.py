@@ -195,6 +195,9 @@ def _worker_payload(cluster, drivers, owned: set[int]) -> dict[str, Any]:
         "stores": stores,
         "outcomes": outcomes,
         "pumps": pumps,
+        # Crash records are lane-local (each worker's injector only fires
+        # in lanes it executes), so the coordinator's union is disjoint.
+        "crashes": cluster.crash_records,
         "net_stats": cluster.network.stats,
         "processed": cluster.env.sim.processed_events,
         "lane_events": sim.stats.events,
@@ -459,6 +462,7 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
                 pump = cluster._pumps[pump_index][1]
                 pump.delivered = delivered
                 pump.max_depth = max_depth
+            cluster.crash_records.extend(payload["crashes"])
             cluster.network.stats.absorb(payload["net_stats"])
             sim._processed_events += payload["processed"]
             for lane, events in enumerate(payload["lane_events"]):
@@ -470,6 +474,11 @@ def run_once_sharded_mp(spec: ExperimentSpec, seed: int = 0) -> ExperimentResult
                 sim.stats.window_span_hist[bucket] = (
                     sim.stats.window_span_hist.get(bucket, 0) + count
                 )
+        # Deterministic order regardless of worker count: the serial
+        # engines append in fire order, which this key reconstructs.
+        cluster.crash_records.sort(
+            key=lambda r: (r.crash_ms, r.datacenter, r.lane)
+        )
         group_checker = None
         if spec.check_invariants and spec.cluster.parallel_check:
             group_checker = _mp_group_checker(cluster, pipes, blocks)

@@ -75,13 +75,28 @@ class StoreAccessor:
         self.store = store
         self.latency = latency or StoreLatencyModel()
         self._rng = env.rng.stream(rng_stream or f"kvstore.{store.name}")
+        #: Crash fence.  A deferred operation captures the epoch at call
+        #: time; :meth:`fence` bumps it, so operations issued by processes a
+        #: crash killed become no-ops when their latency timeout fires —
+        #: the mutation dies with the process, exactly like a write that
+        #: never reached the disk.  (The issuing handler can never observe
+        #: the difference: it was killed, so it neither sees the result nor
+        #: sends the reply.)
+        self.epoch = 0
+
+    def fence(self) -> None:
+        """Invalidate every in-flight deferred operation (crash semantics)."""
+        self.epoch += 1
 
     def _deferred(self, operation) -> Event:
         done = self.env.event()
         delay = self.latency.draw(self._rng)
         wakeup = self.env.timeout(delay)
+        epoch = self.epoch
 
         def run(_event: Event) -> None:
+            if epoch != self.epoch:
+                return  # fenced: the issuing replica crashed meanwhile
             try:
                 done.succeed(operation())
             except Exception as exc:  # store errors flow to the waiter

@@ -126,6 +126,47 @@ class MultiVersionStore:
         return list(self._rows.get(key, []))
 
     # ------------------------------------------------------------------
+    # Crash-restart: the durable / volatile split
+    # ------------------------------------------------------------------
+
+    #: Key prefixes that survive a replica crash.  ``_paxos/`` is the WAL +
+    #: acceptor table (Algorithm 1's promised/accepted state — the paper
+    #: stores it *in* the key-value store, which is the durable layer);
+    #: ``_meta/`` holds small durable intents (lease incarnations, the
+    #: leased leader's head-position intent).
+    DURABLE_PREFIXES: tuple[str, ...] = ("_paxos/", "_meta/")
+
+    def erase_volatile(
+        self, durable_prefixes: tuple[str, ...] | None = None
+    ) -> int:
+        """Simulate a crash: drop every version a restart would lose.
+
+        Durable rows (``durable_prefixes``, default :data:`DURABLE_PREFIXES`)
+        keep every version.  Everything else keeps only its ``timestamp <= 0``
+        versions — the preloaded base image, which stands in for the durable
+        backing files a fresh process maps in; versions written during the
+        run (``timestamp > 0``) are the volatile apply *projection* of the
+        WAL and are erased, to be rebuilt by log replay.  Returns the number
+        of versions erased.
+        """
+        prefixes = (
+            self.DURABLE_PREFIXES if durable_prefixes is None
+            else durable_prefixes
+        )
+        erased = 0
+        for key in list(self._rows):
+            if key.startswith(prefixes):
+                continue
+            versions = self._rows[key]
+            kept = [v for v in versions if v.timestamp <= 0]
+            erased += len(versions) - len(kept)
+            if kept:
+                self._rows[key] = kept
+            else:
+                del self._rows[key]
+        return erased
+
+    # ------------------------------------------------------------------
     # State shipping (sharded multiprocessing mode)
     # ------------------------------------------------------------------
 

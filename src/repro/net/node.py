@@ -136,7 +136,39 @@ class Node:
         #: ``None`` keeps the request/response hot paths promise-free.
         self._promise_book = None
         self._expecting: "dict[tuple[int, str], int] | None" = None
+        #: Live handler processes, tracked only when :meth:`track_processes`
+        #: armed it (crash-fault targets); ``None`` keeps delivery tracking-
+        #: free.  An insertion-ordered dict, not a set: kill order must be
+        #: deterministic, and set iteration over objects is id-hash order.
+        self._procs: "dict[Any, None] | None" = None
         network.register(self)
+
+    def track_processes(self) -> None:
+        """Track spawned handler processes so a crash can kill them."""
+        if self._procs is None:
+            self._procs = {}
+
+    def kill_tracked(self, reason: str) -> int:
+        """Kill every live tracked handler process, in spawn order."""
+        if not self._procs:
+            return 0
+        victims = list(self._procs)
+        self._procs.clear()
+        for process in victims:
+            process.kill(reason)
+        return len(victims)
+
+    def adopt(self, process) -> None:
+        """Track an externally spawned process (e.g. restart recovery work)
+        so :meth:`kill_tracked` reaches it; no-op unless tracking is armed."""
+        if self._procs is None:
+            return
+        self._procs[process] = None
+        process.add_callback(
+            lambda event, p=process: (
+                self._procs.pop(p, None) if self._procs is not None else None
+            )
+        )
 
     def arm_promises(self, book) -> None:
         """Maintain reply-expectation state in the kernel's promise book.
@@ -273,6 +305,7 @@ class Node:
         result = handler(msg)
         if isinstance(result, Generator):
             process = self.env.process(result, name=f"{self.name}:{msg.type}")
+            self.adopt(process)
             if msg.request_id is not None:
                 process.add_callback(lambda event: self._on_handler_done(msg, event))
         elif msg.request_id is not None:

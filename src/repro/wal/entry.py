@@ -36,10 +36,16 @@ from typing import Any, Iterable, Literal
 from repro.model import QueueSend, Transaction, is_serializable_sequence
 
 #: What a decided log entry means to the apply path.
-EntryKind = Literal["data", "prepare", "commit", "abort", "queue_apply"]
+EntryKind = Literal["data", "prepare", "commit", "abort", "queue_apply", "noop"]
 
 #: Entry kinds that carry no transactions and apply no writes.
 MARKER_KINDS = ("commit", "abort")
+
+#: The gap-filling value a recovering leader proposes for a slot whose
+#: in-flight decision died with the previous incarnation (classic
+#: multi-Paxos no-op fill): it keeps the log contiguous (L3) while
+#: applying nothing and contributing no transactions to any replay.
+NOOP_KIND = "noop"
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,12 @@ class LogEntry:
                 raise ValueError(f"a {self.kind} marker carries no transactions")
             if self.gtid is None:
                 raise ValueError(f"a {self.kind} marker needs a gtid")
+            return
+        if self.kind == NOOP_KIND:
+            if self.transactions or self.gtid is not None:
+                raise ValueError(
+                    "a noop entry carries no transactions and no gtid"
+                )
             return
         if not self.transactions:
             raise ValueError("a log entry must contain at least one transaction")
@@ -124,6 +136,16 @@ class LogEntry:
             gtid=gtid,
             participants=tuple(participants),
         )
+
+    @classmethod
+    def noop(cls) -> "LogEntry":
+        """A gap-filling no-op (recovery's value for a voteless slot).
+
+        All noops are equal (frozen-dataclass equality), which is exactly
+        right for Paxos: two recoveries settling the same slot propose the
+        same value, and (R1) sees agreeing replicas.
+        """
+        return cls(transactions=(), kind="noop")
 
     @classmethod
     def queue_apply(
@@ -234,4 +256,6 @@ class LogEntry:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if self.is_marker:
             return f"{self.kind}:{self.gtid}"
+        if self.kind == NOOP_KIND:
+            return "noop"
         return "+".join(self.tids)

@@ -1,5 +1,7 @@
 """Tests for the §7 leased-leader extension."""
 
+from repro.core.leased_leader import LEASE_ROUND, lease_epoch_key
+from repro.failures import FailureInjector
 from repro.model import AbortReason
 from tests.conftest import make_cluster, run_txn
 
@@ -100,4 +102,97 @@ class TestLeasedLeader:
         for index, dc in enumerate(["V1", "V2", "V3", "V1"]):
             make_proc(index, dc)
         cluster.run()
+        cluster.check_invariants(GROUP, outcomes)
+
+
+class TestCrashRestartFailover:
+    """Lease-safe restart: no dual-leader window, ever.
+
+    The crashed leader forgot its lease (volatile), so on restart it must
+    assume some pre-crash self still holds one and wait out a full
+    ``lease_ms`` before serving again — refusing commits with
+    ``SERVICE_UNAVAILABLE`` in the meantime — under a strictly higher
+    incarnation ballot recovered from the durable ``_meta/`` epoch row.
+    """
+
+    def test_wait_out_refuses_then_serves_with_higher_incarnation(self):
+        # retry_attempts=0: a refusal must surface as the outcome, not be
+        # retried past the wait-out.
+        cluster = preloaded(retry_attempts=0)
+        home = cluster.home_dc
+        lease_ms = cluster.services[home].config.lease_ms
+        injector = FailureInjector(cluster)
+        # Crash the leader at 40ms; restart at 140ms; the wait-out then
+        # refuses service until 140 + lease_ms.
+        injector.crash(home, start_ms=40.0, restart_after_ms=100.0)
+        outcomes = {}
+
+        def make_proc(label, delay, attribute):
+            client = cluster.add_client("V2", protocol="leased-leader")
+
+            def run():
+                yield cluster.env.timeout(delay)
+                handle = yield from client.begin(GROUP)
+                client.write(handle, "row0", attribute, f"v-{label}")
+                outcomes[label] = yield from client.commit(handle)
+
+            return cluster.env.process(run())
+
+        make_proc("before", 0.0, "a0")
+        make_proc("waiting", 200.0, "a1")          # inside the wait-out
+        make_proc("after", 140.0 + lease_ms + 60.0, "a2")
+        cluster.run()
+
+        assert outcomes["before"].committed
+        assert not outcomes["waiting"].committed
+        assert outcomes["waiting"].abort_reason is AbortReason.SERVICE_UNAVAILABLE
+        assert outcomes["after"].committed
+
+        # The restart bumped the durable incarnation, so every post-crash
+        # ballot strictly dominates every pre-crash one: the classic
+        # dual-leader interleaving (old self's in-flight ACCEPT vs new
+        # self) is decided by ballot order, never by wall-clock luck.
+        service = cluster.services[home]
+        incarnation = service.store.read_attribute(
+            lease_epoch_key(service.node.name), "incarnation", default=0
+        )
+        assert incarnation == 1
+        assert service.lease_host.ballot().round == LEASE_ROUND + 1
+
+        # And the log the three clients saw is still gapless and 1SR.
+        cluster.check_invariants(GROUP, list(outcomes.values()))
+        assert cluster.check_crash_amnesia() == []
+
+    def test_no_commit_lands_inside_the_wait_out_window(self):
+        cluster = preloaded(retry_attempts=0)
+        home = cluster.home_dc
+        lease_ms = cluster.services[home].config.lease_ms
+        injector = FailureInjector(cluster)
+        injector.crash(home, start_ms=40.0, restart_after_ms=100.0)
+        outcomes = []
+
+        def make_proc(delay, attribute):
+            client = cluster.add_client("V3", protocol="leased-leader")
+
+            def run():
+                yield cluster.env.timeout(delay)
+                handle = yield from client.begin(GROUP)
+                client.write(handle, "row0", attribute, "v")
+                outcomes.append((yield from client.commit(handle)))
+
+            return cluster.env.process(run())
+
+        # A volley of commit attempts spanning the whole wait-out.
+        for index, delay in enumerate((150.0, 250.0, 350.0, 450.0, 550.0)):
+            make_proc(delay, f"a{index}")
+        cluster.run()
+
+        serve_after = 140.0 + lease_ms
+        for outcome in outcomes:
+            if outcome.committed:
+                # Nothing may commit while the restarted leader still owes
+                # a possible predecessor its lease.
+                assert outcome.end_time >= serve_after
+            else:
+                assert outcome.abort_reason is AbortReason.SERVICE_UNAVAILABLE
         cluster.check_invariants(GROUP, outcomes)

@@ -1,0 +1,284 @@
+"""Crash-restart recovery: the durable/volatile split, held to account.
+
+A service-replica crash is *amnesia* — everything not explicitly durable
+(`_paxos/` acceptor rows, `_meta/` intents, the preloaded base image) is
+gone, in-flight handler processes die mid-yield, and the restarted node
+must rebuild its volatile projections purely from WAL replay plus Paxos
+catch-up (Spinnaker-style recovery, arXiv:1103.2408).  These tests pin
+each layer of that contract: the store-level erase, the crash fence on
+in-flight operations, the declarative :class:`CrashWindow` config, the
+amnesia detector (both directions — clean runs pass, forged regressions
+are caught), and the headline property: recovery is *idempotent* — a
+replica crashed twice in one run ends byte-identical to one that never
+crashed at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import (
+    ClusterConfig,
+    CrashWindow,
+    FaultProfile,
+    FaultScheduleConfig,
+    WorkloadConfig,
+)
+from repro.errors import FaultScheduleError
+from repro.failures import FailureInjector
+from repro.failures.schedule import fault_span, install_fault_schedule, materialize
+from repro.kvstore.service import StoreAccessor
+from repro.kvstore.store import MultiVersionStore
+from repro.sim.env import Environment
+from repro.wal.invariants import InvariantViolation
+from repro.workload.driver import WorkloadDriver
+from tests.conftest import make_cluster, run_txn
+
+GROUP = "g"
+
+
+def preloaded(**kwargs):
+    cluster = make_cluster(**kwargs)
+    cluster.preload(GROUP, {"row0": {f"a{i}": "init" for i in range(4)}})
+    return cluster
+
+
+class TestCrashWindowConfig:
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start_ms"):
+            CrashWindow("V2", -1.0, 100.0)
+
+    def test_rejects_nonpositive_restart_delay(self):
+        with pytest.raises(ValueError, match="restart_after_ms"):
+            CrashWindow("V2", 0.0, 0.0)
+
+    def test_cell_suffix_counts_crashes(self):
+        config = FaultScheduleConfig(crashes=(CrashWindow("V2", 10.0, 50.0),))
+        assert config.cell_suffix() == "/faults-1c"
+
+    def test_crash_windows_count_toward_fault_span(self):
+        # A dead replica costs quorum latency, so the availability report
+        # aligns its timeline against the crash window too.
+        config = FaultScheduleConfig(crashes=(CrashWindow("V2", 10.0, 50.0),))
+        assert fault_span(config) == [(10.0, 60.0)]
+
+    def test_unknown_datacenter_rejected_at_install(self):
+        cluster = preloaded()
+        config = FaultScheduleConfig(crashes=(CrashWindow("X9", 10.0, 50.0),))
+        with pytest.raises(FaultScheduleError, match="unknown datacenter"):
+            install_fault_schedule(cluster, config)
+
+    def test_profile_kind_crash_materializes_crash_windows(self):
+        cluster = preloaded()
+        profile = FaultProfile(
+            mttf_ms=200.0, mttr_ms=100.0, horizon_ms=3_000.0, kind="crash"
+        )
+        schedule = materialize(FaultScheduleConfig(profile=profile), cluster)
+        assert schedule.profile is None
+        assert schedule.crashes
+        # spare_home: the home datacenter is never the victim, so the
+        # derived schedule is majority-preserving on a 3-DC deployment.
+        assert all(c.datacenter != cluster.home_dc for c in schedule.crashes)
+        assert all(c.restart_after_ms > 0 for c in schedule.crashes)
+
+
+class TestDurableVolatileSplit:
+    def test_erase_volatile_keeps_durable_prefixes_and_preload(self):
+        store = MultiVersionStore(name="s")
+        store.write("_paxos/g/00000001", {"promise": 7}, timestamp=5.0)
+        store.write("_meta/lease_epoch/n", {"incarnation": 3}, timestamp=6.0)
+        store.write("data/row0", {"a": "base"}, timestamp=0.0)  # preload
+        store.write("data/row0", {"a": "dirty"}, timestamp=7.0)
+        store.write("scratch", {"x": 1}, timestamp=8.0)
+        erased = store.erase_volatile()
+        # The dirty data version and the scratch row die; the durable
+        # prefixes and the ts<=0 base image survive.
+        assert erased == 2
+        assert store.read_attribute("_paxos/g/00000001", "promise") == 7
+        assert store.read_attribute("_meta/lease_epoch/n", "incarnation") == 3
+        assert [v.timestamp for v in store.versions("data/row0")] == [0.0]
+        assert store.read("scratch") is None
+
+    def test_fenced_in_flight_operation_never_lands(self):
+        # A write issued before the crash whose latency timeout fires after
+        # it must vanish — like a write that never reached the disk.
+        env = Environment(seed=1)
+        store = MultiVersionStore(name="s")
+        accessor = StoreAccessor(env, store)
+        accessor.write("row", {"a": 1}, timestamp=1.0)
+        accessor.fence()
+        env.run()
+        assert store.read("row") is None
+
+    def test_unfenced_operation_lands(self):
+        env = Environment(seed=1)
+        store = MultiVersionStore(name="s")
+        accessor = StoreAccessor(env, store)
+        accessor.write("row", {"a": 1}, timestamp=1.0)
+        env.run()
+        assert store.read_attribute("row", "a") == 1
+
+
+class TestCrashRestart:
+    def test_commits_continue_while_minority_replica_down(self):
+        cluster = preloaded()
+        injector = FailureInjector(cluster)
+        injector.crash("V3", start_ms=0.0, restart_after_ms=5_000.0)
+        client = cluster.add_client("V1", protocol="paxos-cp")
+        outcome = run_txn(cluster, client, GROUP, writes=[("row0", "a0", "v")])
+        assert outcome.committed
+        assert cluster.check_crash_amnesia() == []
+
+    def test_restarted_replica_rebuilds_projection_from_wal(self):
+        cluster = preloaded()
+        client = cluster.add_client("V1", protocol="paxos-cp")
+        outcome = run_txn(cluster, client, GROUP, writes=[("row0", "a0", "v1")])
+        assert outcome.committed
+        # Force the apply projection to exist (apply is lazy, read-driven)
+        # so the crash has volatile versions to lose.
+        reader = cluster.add_client("V1", protocol="paxos-cp")
+        run_txn(cluster, reader, GROUP, reads=[("row0", "a0")])
+        injector = FailureInjector(cluster)
+        injector.crash("V1", start_ms=cluster.env.now + 10.0,
+                       restart_after_ms=100.0)
+        cluster.run()
+        record = cluster.crash_records[0]
+        assert record.erased_versions >= 1  # the apply projection died
+        assert record.restart_ms == pytest.approx(record.crash_ms + 100.0)
+        assert GROUP in record.recovery_groups
+        # Recovery replayed the WAL: the volatile projection is back.
+        replica = cluster.services["V1"].replica(GROUP)
+        assert replica.applied_through >= 1
+        entry = replica.chosen_entry(1)
+        assert entry is not None and entry.contains(outcome.transaction.tid)
+        assert cluster.check_crash_amnesia() == []
+
+    def test_overlapping_crash_windows_merge(self):
+        # Two windows on one replica refcount like outages: the nested
+        # restart must not reboot the node mid-outer-window.
+        cluster = preloaded()
+        injector = FailureInjector(cluster)
+        injector.crash("V2", start_ms=10.0, restart_after_ms=200.0)
+        injector.crash("V2", start_ms=50.0, restart_after_ms=100.0)
+        cluster.env.run(until=160.0)  # past the inner restart (150ms)
+        assert cluster.services["V2"].node.down
+        assert len(cluster.crash_records) == 1
+        cluster.run()
+        record = cluster.crash_records[0]
+        assert not cluster.services["V2"].node.down
+        assert record.restart_ms == pytest.approx(210.0)
+        assert cluster.check_crash_amnesia() == []
+
+    def test_restart_without_crash_rejected(self):
+        cluster = preloaded()
+        with pytest.raises(FaultScheduleError, match="without a matching"):
+            cluster.restart_service("V2")
+
+
+class TestAmnesiaDetector:
+    def test_durable_drift_while_down_is_caught_at_restart(self):
+        # A down replica accepts no traffic, so any durable change between
+        # crash and restart is detector-reportable corruption.
+        cluster = preloaded()
+        cluster.crash_service("V2")
+        cluster.stores["V2"].write(
+            "_meta/lease_epoch/evil", {"incarnation": 1}, timestamp=1.0
+        )
+        with pytest.raises(InvariantViolation, match="amnesia"):
+            cluster.restart_service("V2")
+
+    def test_vanished_durable_row_flagged_at_end_of_run(self):
+        cluster = preloaded()
+        client = cluster.add_client("V1", protocol="paxos")
+        outcome = run_txn(cluster, client, GROUP, writes=[("row0", "a0", "v")])
+        assert outcome.committed
+        record = cluster.crash_service("V2")
+        assert record.durable_image  # the acceptor voted, so rows exist
+        cluster.restart_service("V2")
+        cluster.run()
+        # Forge the failure mode the detector exists for: a durable
+        # acceptor row the crashed replica had promised in is simply gone.
+        key = sorted(record.durable_image)[0]
+        del cluster.stores["V2"]._rows[key]
+        violations = cluster.check_crash_amnesia()
+        assert any("vanished" in v for v in violations)
+
+    def test_crash_without_restart_flagged(self):
+        # Recovery must be finite: a replica that never comes back is a
+        # violation, not a silently shorter run.
+        cluster = preloaded()
+        cluster.crash_service("V2")
+        violations = cluster.check_crash_amnesia()
+        assert any("never restarted" in v for v in violations)
+
+
+def _data_projection(store: MultiVersionStore) -> dict[str, list[tuple]]:
+    """Every data row's replayed versions: ``{key: [(ts, attrs...), ...]}``.
+
+    Internal prefixes are excluded — ``_txnstatus/`` write times depend on
+    when each replica *learned* an outcome (legitimately order-dependent),
+    while data versions are stamped by log position and must replay
+    identically everywhere.
+    """
+    projection: dict[str, list[tuple]] = {}
+    for key in sorted(store.keys()):
+        if key.startswith("_"):
+            continue
+        projection[key] = [
+            (version.timestamp, tuple(sorted(version.attributes.items())))
+            for version in store.versions(key)
+        ]
+    return projection
+
+
+class TestRecoveryIdempotence:
+    def test_double_crash_replica_matches_never_crashed_replica(self):
+        """Crash the same replica twice in one run; its rebuilt state must
+        be byte-identical to a replica that never crashed.
+
+        This is the recovery-idempotence property: WAL replay + Paxos
+        catch-up is a pure function of the durable log, so running it
+        twice (with fresh amnesia in between) lands on exactly the state
+        continuous operation would have produced — same chosen entries,
+        same data versions at the same position timestamps.
+        """
+        cluster = Cluster(ClusterConfig(cluster_code="VVV", seed=7))
+        workload = WorkloadConfig(
+            n_transactions=12, ops_per_transaction=3, n_attributes=6,
+            n_rows=2, n_threads=2, target_rate_per_thread=20.0,
+            stagger_ms=5.0,
+        )
+        driver = WorkloadDriver(cluster, workload, "paxos-cp")
+        driver.install_data()
+        injector = FailureInjector(cluster)
+        injector.crash("V3", start_ms=60.0, restart_after_ms=90.0)
+        injector.crash("V3", start_ms=350.0, restart_after_ms=120.0)
+        driver.start()
+        cluster.run()
+
+        records = cluster.crash_records
+        assert len(records) == 2
+        assert all(r.restart_ms is not None for r in records)
+
+        logs = cluster.finalize_all()
+        cluster.check_invariants_all(driver.result.outcomes, logs=logs)
+
+        # Apply is lazy, so level the field by running the *same* recovery
+        # replay on the never-crashed witness: if recovery is truly a pure
+        # function of the durable log, replaying over live state is a
+        # no-op and both replicas land on the identical full projection.
+        cluster.services["V2"].spawn_recovery()
+        cluster.services["V3"].spawn_recovery()
+        cluster.run()
+
+        crashed, witness = cluster.stores["V3"], cluster.stores["V2"]
+        assert _data_projection(crashed) == _data_projection(witness)
+        # The chosen log itself agrees position by position.
+        for group in cluster.groups:
+            survivor = cluster.services["V2"].replica(group)
+            rebuilt = cluster.services["V3"].replica(group)
+            assert rebuilt.applied_through == survivor.applied_through
+            for position in range(1, survivor.applied_through + 1):
+                assert rebuilt.chosen_entry(position) == \
+                    survivor.chosen_entry(position)

@@ -105,3 +105,17 @@ class TestAggregate:
 
         with pytest.raises(ValueError):
             aggregate_metrics([])
+
+
+class TestNoopStats:
+    def test_log_stats_counts_noop_entries(self):
+        from repro.wal.entry import LogEntry
+
+        log = {
+            1: entry(txn("t1", writes={"a": 1})),
+            2: LogEntry.noop(),
+        }
+        stats = LogStats.from_log(log)
+        assert stats.positions == 2
+        assert stats.noop_entries == 1
+        assert stats.combined_entries == 0

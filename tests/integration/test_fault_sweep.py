@@ -36,6 +36,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.config import (
     ClusterConfig,
+    CrashWindow,
     FaultScheduleConfig,
     LossWindow,
     OutageWindow,
@@ -86,9 +87,10 @@ def draw_fault_schedule(rng, cluster, pumps, protocol,
                         queue_fraction) -> FaultScheduleConfig:
     """This seed's fault schedule as declarative config.
 
-    The draw sequence is pinned — byte-identical to the historical
-    imperative version, so every seed's scenario is unchanged; only the
-    installation mechanism moved to :func:`install_fault_schedule`.
+    The pre-crash draw sequence is pinned — byte-identical to the
+    historical imperative version, so every seed's network-fault scenario
+    is unchanged; the service-replica crash draws append strictly after
+    it, extending each scenario without perturbing it.
     """
     datacenters = list(cluster.topology.names)
     outages, partitions, losses, crashes = [], [], [], []
@@ -127,9 +129,23 @@ def draw_fault_schedule(rng, cluster, pumps, protocol,
         else:
             probability = rng.uniform(0.05, 0.3)
             losses.append(LossWindow(probability, start, duration))
+    # Every seed also crash-restarts a service replica (sometimes two)
+    # mid-run: in-flight handler processes die, volatile state — learner
+    # caches, apply projections, delivery marks, leases — is erased, and
+    # the restarted node must recover purely from durable state (the WAL
+    # plus the acceptor table).  The amnesia detector inside
+    # ``check_invariants_all`` holds every restart to that: durable
+    # promises may never regress and chosen values may never change.
+    node_crashes = []
+    for _crash in range(rng.randint(1, 2)):
+        victim_dc = rng.choice(datacenters)
+        start = rng.uniform(50.0, 600.0)
+        down = rng.uniform(80.0, 350.0)
+        node_crashes.append(CrashWindow(victim_dc, start, down))
     return FaultScheduleConfig(
         outages=tuple(outages), partitions=tuple(partitions),
-        loss_windows=tuple(losses), pump_crashes=tuple(crashes),
+        loss_windows=tuple(losses), crashes=tuple(node_crashes),
+        pump_crashes=tuple(crashes),
     )
 
 

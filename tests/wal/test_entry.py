@@ -102,3 +102,34 @@ class TestLogEntry:
         members = [txn("t1", writes={"a": 1}), txn("t2", writes={"b": 1})]
         e = LogEntry.combined(members)
         assert list(e) == members
+
+
+class TestNoopEntry:
+    """The multi-Paxos gap fill a recovering leader proposes for a slot
+    whose in-flight decision died with the previous incarnation."""
+
+    def test_noop_carries_nothing(self):
+        e = LogEntry.noop()
+        assert e.kind == "noop"
+        assert e.transactions == ()
+        assert e.gtid is None
+        assert not e.is_marker
+        assert str(e) == "noop"
+
+    def test_all_noops_are_equal(self):
+        # (R1) compares entries across replicas by content: two leaders'
+        # independent gap fills for one slot must never look divergent.
+        assert LogEntry.noop() == LogEntry.noop()
+
+    def test_noop_rejects_payload(self):
+        with pytest.raises(ValueError):
+            LogEntry(transactions=(txn("t1", writes={"a": 1}),), kind="noop")
+        with pytest.raises(ValueError):
+            LogEntry(transactions=(), kind="noop", gtid="g1")
+
+    def test_noop_contributes_nothing_to_replay(self):
+        from repro.wal.invariants import effective_transactions
+
+        e = LogEntry.noop()
+        assert effective_transactions(e) == ()
+        assert e.write_image() == {}
